@@ -1,0 +1,122 @@
+"""Figure 12 — backward lineage: layered querying over the full provenance
+graph (Query 2 capture + Query 10) vs over the custom provenance graph
+(Query 11 capture + Query 12), as multiples of the analytic baseline.
+
+Paper shape: Full takes 2.6x-3.4x the baseline, Custom only ~0.5x, and
+both return identical lineage.
+"""
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.bench import (
+    captured_store,
+    format_table,
+    publish,
+    timed,
+    web_graph_for,
+)
+from repro.core import queries as Q
+from repro.engine.engine import PregelEngine
+from repro.graph.datasets import WEB_DATASET_ORDER
+from repro.provenance.spill import SpillManager
+from repro.runtime.offline import run_layered_from_spill
+from repro.runtime.online import run_online
+
+
+def make_analytic(name):
+    if name == "pagerank":
+        return PageRank(num_supersteps=20)
+    if name == "sssp":
+        return SSSP(source=0)
+    return WCC()
+
+
+def trace_target(store):
+    """A vertex that computed in the last superstep (the paper's choice)."""
+    sigma = store.max_superstep
+    alpha = min(x for x, i in store.rows("superstep") if i == sigma)
+    return alpha, sigma
+
+
+def measure(analytic_name: str, dataset: str):
+    graph = web_graph_for(dataset, weighted=analytic_name == "sssp")
+    analytic = make_analytic(analytic_name)
+    baseline = timed(lambda: PregelEngine(graph).run(analytic.make_program()))
+
+    full_store = captured_store(analytic_name, dataset)
+    # WCC broadcasts along reverse edges too, so its custom capture needs
+    # the symmetric edge relation (see queries.py).
+    capture_query = (
+        Q.CAPTURE_BACKWARD_CUSTOM_UNDIRECTED_QUERY
+        if analytic_name == "wcc"
+        else Q.CAPTURE_BACKWARD_CUSTOM_QUERY
+    )
+    custom_store = run_online(
+        graph, make_analytic(analytic_name), capture_query, capture=True,
+    ).store
+    alpha, sigma = trace_target(full_store)
+    params = {"alpha": alpha, "sigma": sigma}
+
+    results = {}
+    with SpillManager(full_store) as spill:
+        spill.seal_all()
+
+        def run_full(spill=spill):
+            results["full"] = run_layered_from_spill(
+                spill, Q.BACKWARD_LINEAGE_FULL_QUERY, graph, params
+            )
+
+        t_full = timed(run_full)
+    with SpillManager(custom_store) as spill:
+        spill.seal_all()
+
+        def run_custom(spill=spill):
+            results["custom"] = run_layered_from_spill(
+                spill, Q.BACKWARD_LINEAGE_CUSTOM_QUERY, graph, params
+            )
+
+        t_custom = timed(run_custom)
+    same = (
+        results["full"].rows("back_trace")
+        == results["custom"].rows("back_trace")
+    )
+    return baseline, t_full, t_custom, same
+
+
+def build_rows():
+    rows = []
+    for analytic in ("pagerank", "sssp", "wcc"):
+        for dataset in WEB_DATASET_ORDER:
+            baseline, t_full, t_custom, same = measure(analytic, dataset)
+            rows.append(
+                (
+                    analytic,
+                    dataset,
+                    baseline,
+                    t_full / baseline,
+                    t_custom / baseline,
+                    "yes" if same else "NO",
+                )
+            )
+    return rows
+
+
+def test_fig12_backward_lineage(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        "Figure 12: layered backward lineage, Full (Q10) vs Custom (Q12)",
+        ["Analytic", "Dataset", "Baseline s", "Full x", "Custom x", "Same"],
+        rows,
+    )
+    publish("fig12_backward", table)
+    totals = {}
+    for analytic, _d, _b, full_x, custom_x, same in rows:
+        assert same == "yes"  # Section 6.3: identical lineage
+        agg = totals.setdefault(analytic, [0.0, 0.0])
+        agg[0] += full_x
+        agg[1] += custom_x
+    # Custom queries are faster; individual cells are single measurements,
+    # so compare per analytic.
+    for analytic, (full_total, custom_total) in totals.items():
+        assert custom_total < full_total, analytic

@@ -1,0 +1,98 @@
+"""Figure 7 — runtime of provenance capturing: Full (Query 2) vs Custom
+(Query 3), as multiples of the plain analytic (Giraph baseline).
+
+Paper shape: full capture costs 2.7x-5.6x the baseline; custom capture
+stays under 2x of *full's* overhead class (<2x baseline in the paper).
+"""
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.bench import format_table, publish, timed, web_graph_for
+from repro.core import queries as Q
+from repro.engine.engine import PregelEngine
+from repro.graph.datasets import WEB_DATASET_ORDER
+from repro.graph.stats import max_degree_vertex
+from repro.runtime.online import run_online
+
+
+def measure(analytic_name: str, dataset: str):
+    if analytic_name == "sssp":
+        graph = web_graph_for(dataset, weighted=True)
+        make = lambda: SSSP(source=0)
+        source = 0
+    else:
+        graph = web_graph_for(dataset)
+        source = max_degree_vertex(graph, kind="out")
+        if analytic_name == "pagerank":
+            make = lambda: PageRank(num_supersteps=20)
+        else:
+            make = lambda: WCC()
+
+    baseline = timed(lambda: PregelEngine(graph).run(make().make_program()))
+    results = {}
+
+    def run_full():
+        results["full"] = run_online(
+            graph, make(), Q.CAPTURE_FULL_QUERY, capture=True
+        )
+
+    def run_custom():
+        results["custom"] = run_online(
+            graph, make(), Q.CAPTURE_FWD_LINEAGE_QUERY,
+            params={"source": source}, capture=True,
+        )
+
+    full = timed(run_full)
+    custom = timed(run_custom)
+    return (
+        baseline,
+        full,
+        custom,
+        results["full"].store.total_bytes(),
+        results["custom"].store.total_bytes(),
+    )
+
+
+def build_rows():
+    rows = []
+    for analytic in ("pagerank", "sssp", "wcc"):
+        for dataset in WEB_DATASET_ORDER:
+            base, full, custom, full_bytes, custom_bytes = measure(
+                analytic, dataset
+            )
+            rows.append(
+                (
+                    analytic,
+                    dataset,
+                    base,
+                    full / base,
+                    custom / base,
+                    full_bytes / max(1, custom_bytes),
+                )
+            )
+    return rows
+
+
+def test_fig7_capture_runtime(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        "Figure 7: capture runtime overhead (x over baseline)",
+        ["Analytic", "Dataset", "Baseline s", "Full x", "Custom x",
+         "Bytes full/custom"],
+        rows,
+    )
+    publish("fig7_capture_runtime", table)
+    # Paper shape: capturing always costs more than the plain analytic; the
+    # customized capture stores far less (deterministic) and costs less
+    # wall-clock in aggregate (individual cells are single, noisy
+    # measurements — SSSP's recursive lineage rule makes its custom-capture
+    # CPU comparable to full capture at our scale, see EXPERIMENTS.md).
+    full_total = 0.0
+    custom_total = 0.0
+    for _a, _d, _base, full_x, custom_x, byte_ratio in rows:
+        assert full_x > 1.0
+        assert byte_ratio > 2.0  # custom stores a fraction of full
+        full_total += full_x
+        custom_total += custom_x
+    assert custom_total < full_total

@@ -1,0 +1,84 @@
+"""Figure 8 — execution-monitoring queries (Queries 4, 5, 6) under the
+three evaluation modes, as multiples of the baseline analytic.
+
+Paper shape: Online ~1.1-1.3x, Layered ~3-3.7x, Naive ~4-4.7x, with Naive
+only evaluated on the two smallest datasets (it doesn't scale further).
+Offline numbers exclude capture time, exactly as in the paper.
+"""
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.bench import (
+    NAIVE_DATASETS,
+    capture_seconds,
+    captured_store,
+    format_table,
+    measure_query_modes,
+    publish,
+    web_graph_for,
+)
+from repro.core import queries as Q
+from repro.graph.datasets import WEB_DATASET_ORDER
+
+CASES = (
+    ("pagerank", "query4", Q.PAGERANK_CHECK_QUERY),
+    ("sssp", "query5", Q.SSSP_WCC_UPDATE_CHECK_QUERY),
+    ("sssp", "query6", Q.SSSP_WCC_STABILITY_QUERY),
+    ("wcc", "query5", Q.SSSP_WCC_UPDATE_CHECK_QUERY),
+    ("wcc", "query6", Q.SSSP_WCC_STABILITY_QUERY),
+)
+
+
+def make_analytic(name):
+    if name == "pagerank":
+        return PageRank(num_supersteps=20)
+    if name == "sssp":
+        return SSSP(source=0)
+    return WCC()
+
+
+def build_rows():
+    rows = []
+    for analytic_name, query_name, query in CASES:
+        for dataset in WEB_DATASET_ORDER:
+            graph = web_graph_for(dataset, weighted=analytic_name == "sssp")
+            timings = measure_query_modes(
+                graph,
+                make_analytic(analytic_name),
+                query,
+                store=captured_store(analytic_name, dataset),
+                with_naive=dataset in NAIVE_DATASETS,
+            )
+            cap_x = capture_seconds(analytic_name, dataset) / timings.baseline
+            rows.append(
+                (
+                    analytic_name,
+                    query_name,
+                    dataset,
+                    timings.baseline,
+                    timings.over(timings.online),
+                    timings.over(timings.layered),
+                    timings.over(timings.naive) or "-",
+                    cap_x + timings.over(timings.layered),
+                )
+            )
+    return rows
+
+
+def test_fig8_monitoring_queries(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        "Figure 8: monitoring query runtime (x over baseline)",
+        ["Analytic", "Query", "Dataset", "Baseline s",
+         "Online x", "Layered x", "Naive x", "Capture+Layered x"],
+        rows,
+    )
+    publish("fig8_monitoring", table)
+    # Paper shape: online short-circuits capture-then-query — it always
+    # beats the end-to-end offline path (capture + layered). The pure
+    # query-only comparison (Layered column) excludes capture, as in the
+    # paper; see EXPERIMENTS.md for where our in-memory load differs.
+    for row in rows:
+        online_x, end_to_end_x = row[4], row[7]
+        assert online_x < end_to_end_x

@@ -1,0 +1,42 @@
+"""Table 3 — size of the full provenance graph vs the input graph.
+
+The paper reports the full capture (Query 2) at ~10x the input for PageRank
+and SSSP and ~5x for WCC (WCC converges quickly, so fewer layers carry
+facts). The reproduction reports serialized sizes under one byte model.
+"""
+
+from repro.bench import captured_store, format_table, publish, web_graph_for
+from repro.graph.datasets import WEB_DATASET_ORDER
+from repro.sizemodel import graph_bytes
+
+ANALYTICS = ("pagerank", "sssp", "wcc")
+
+
+def build_rows():
+    rows = []
+    for dataset in WEB_DATASET_ORDER:
+        input_bytes = graph_bytes(web_graph_for(dataset))
+        cells = [dataset, input_bytes]
+        for analytic in ANALYTICS:
+            store = captured_store(analytic, dataset)
+            cells.append(store.total_bytes())
+            cells.append(store.total_bytes() / input_bytes)
+        rows.append(tuple(cells))
+    return rows
+
+
+def test_table3_full_capture_size(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        "Table 3: full provenance graph size (Query 2 capture)",
+        ["Dataset", "Input B",
+         "PR B", "PR x", "SSSP B", "SSSP x", "WCC B", "WCC x"],
+        rows,
+    )
+    publish("table3_full_capture_size", table)
+    # Shape assertions from the paper: provenance dwarfs the input, and WCC
+    # captures less than PageRank (it deactivates vertices early).
+    for row in rows:
+        pr_ratio, wcc_ratio = row[3], row[7]
+        assert pr_ratio > 2.0
+        assert wcc_ratio < pr_ratio

@@ -1,0 +1,45 @@
+"""Table 6 — SSSP approximation error: relative L1 error for eps = 0.1 and
+the distance medians of the original (A) and optimized (B) runs.
+
+Paper shape: ~1e-2 error on every dataset with the threshold chosen on one
+dataset and transferred to the others; optimized medians slightly larger
+(suppressed relaxations leave distances a touch stale).
+"""
+
+from repro.analytics import PAPER_EPSILONS
+from repro.analytics.error import median, normalized_error
+from repro.analytics.sssp import SSSP
+from repro.bench import format_table, publish, web_graph_for
+from repro.engine.engine import run_program
+from repro.graph.datasets import WEB_DATASET_ORDER
+
+
+def build_rows():
+    rows = []
+    eps = PAPER_EPSILONS["sssp"]
+    for dataset in WEB_DATASET_ORDER:
+        graph = web_graph_for(dataset, weighted=True)
+        exact_a = SSSP(source=0)
+        approx_a = SSSP(source=0, epsilon=eps)
+        v_exact = exact_a.result_vector(
+            run_program(graph, exact_a.make_program()).values
+        )
+        v_approx = approx_a.result_vector(
+            run_program(graph, approx_a.make_program()).values
+        )
+        error = normalized_error(v_exact, v_approx, p=1)
+        rows.append((dataset, error, median(v_exact), median(v_approx)))
+    return rows
+
+
+def test_table6_sssp_error(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = format_table(
+        f"Table 6: SSSP relative error (L1) for eps={PAPER_EPSILONS['sssp']}",
+        ["Dataset", "Error", "Median A", "Median B"],
+        rows,
+    )
+    publish("table6_sssp_error", table)
+    for _dataset, error, med_a, med_b in rows:
+        assert error < 0.15  # paper: ~1e-2
+        assert med_b >= med_a - 1e-9  # distances never improve

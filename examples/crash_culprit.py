@@ -1,0 +1,85 @@
+"""Crash-culprit determination and data auditing with provenance.
+
+Scenario: an SSSP run on a weighted graph misbehaves — it fails to converge
+within its superstep budget and produces negative distances. One edge weight
+in the input was corrupted to a negative value, and because that edge lies
+on a cycle, SSSP relaxes distances downward forever (SSSP assumes positive
+weights — exactly the corrupted-input case Section 6.2.1 motivates).
+
+The workflow:
+
+1. an always-on online audit query flags impossible messages (a negative
+   distance candidate can never occur with valid input) *during* the run;
+2. the audit's sender set narrows the search; capturing provenance and
+   running a backward lineage trace (Query 10) from a poisoned output
+   pinpoints the input region the bad data flowed from;
+3. the developer inspects the traced vertices' out-edges and finds the
+   corrupted weight.
+
+Run:  python examples/crash_culprit.py
+"""
+
+from repro import Ariadne, EngineConfig, SSSP
+from repro.graph import web_graph, with_random_weights
+
+#: Audit query: an SSSP message is a candidate distance; with non-negative
+#: weights and source distance 0 a negative candidate is impossible, so any
+#: such message pinpoints corrupted input upstream of the sender.
+NEGATIVE_WEIGHT_AUDIT = """
+suspicious(X, Y, M, I) :- receive_message(X, Y, M, I), M < 0.0.
+"""
+
+
+def main() -> None:
+    graph = with_random_weights(
+        web_graph(800, avg_degree=8, target_diameter=16, seed=3), seed=3
+    )
+    # Corrupt one input edge: a strongly negative weight on a cycle.
+    u, (v, _w) = 100, graph.out_edges(100)[0]
+    graph.set_edge_value(u, v, -5.0)
+    print(f"(secretly corrupted edge {u} -> {v} with weight -5.0)")
+
+    # The corrupted run never converges: cap it like a production job would.
+    config = EngineConfig(max_supersteps=30)
+    ariadne = Ariadne(graph, SSSP(source=0), config=config)
+
+    baseline = ariadne.baseline()
+    print(f"\nSSSP hit the superstep cap: halt_reason={baseline.halt_reason!r}"
+          f" after {baseline.num_supersteps} supersteps  <- first smell")
+
+    # 1. the always-on audit fires during the run itself
+    audit = ariadne.query_online(NEGATIVE_WEIGHT_AUDIT)
+    flagged = audit.query.rows("suspicious")
+    print(f"\nOnline audit flagged {len(flagged)} impossible messages")
+    first_superstep = min(i for _x, _y, _m, i in flagged)
+    earliest = [row for row in flagged if row[3] == first_superstep]
+    senders = sorted({y for _x, y, _m, _i in earliest})
+    print(f"  earliest at superstep {first_superstep}, sent by {senders}")
+
+    # 2. capture provenance, trace a poisoned output backwards
+    poisoned = sorted(vtx for vtx, d in audit.values.items() if d < 0)
+    print(f"\n{len(poisoned)} vertices ended with negative distances")
+    capture = ariadne.capture()
+    store = capture.store
+    target = poisoned[0]
+    sigma = max(i for x, i in store.rows("superstep") if x == target)
+    lineage = ariadne.backward_lineage(store, target, sigma)
+    trace_vertices = {x for x, _i in lineage.rows("back_trace")}
+    print(f"Backward lineage of vertex {target}: trace touched "
+          f"{len(trace_vertices)} vertices "
+          f"({lineage.count('back_trace')} provenance nodes)")
+
+    # 3. the culprit edge lies inside the traced region
+    culprits = [
+        (a, b, w)
+        for a in trace_vertices
+        for b, w in graph.out_edges(a)
+        if isinstance(w, float) and w < 0
+    ]
+    print(f"\nNegative-weight edges inside the traced region: {culprits}")
+    assert (u, v, -5.0) in culprits, "the trace must contain the culprit"
+    print("Culprit found.")
+
+
+if __name__ == "__main__":
+    main()

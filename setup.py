@@ -1,0 +1,10 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept because the offline environment lacks the `wheel` package, which pip's
+PEP 517 editable-install path requires; with setup.py present pip can fall
+back to the legacy `setup.py develop` route.
+"""
+
+from setuptools import setup
+
+setup()

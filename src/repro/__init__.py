@@ -1,0 +1,75 @@
+"""repro — a from-scratch reproduction of *Ariadne: Online Provenance for
+Big Graph Analytics* (Papavasileiou, Yocum & Deutsch, SIGMOD 2019).
+
+Quickstart::
+
+    from repro import Ariadne, PageRank
+    from repro.graph import web_graph
+
+    graph = web_graph(2000, avg_degree=10, target_diameter=20, seed=1)
+    ariadne = Ariadne(graph, PageRank(num_supersteps=20))
+    result = ariadne.apt(epsilon=0.01)        # Query 1, evaluated online
+    print(result.query.count("safe"), "safe vertex-supersteps")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.analytics import ALS, SSSP, WCC, Analytic, PageRank
+from repro.core.ariadne import Ariadne
+from repro.engine import EngineConfig, PregelEngine, RunResult, VertexProgram
+from repro.errors import (
+    EngineError,
+    GraphError,
+    PQLCompatibilityError,
+    PQLError,
+    PQLSemanticError,
+    PQLSyntaxError,
+    ProvenanceError,
+    ReproError,
+    VertexProgramError,
+)
+from repro.graph import BipartiteGraph, DiGraph
+from repro.provenance import ProvenanceStore
+from repro.runtime import (
+    OnlineRunResult,
+    QueryResult,
+    run_layered,
+    run_naive,
+    run_online,
+    run_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALS",
+    "SSSP",
+    "WCC",
+    "Analytic",
+    "PageRank",
+    "Ariadne",
+    "EngineConfig",
+    "PregelEngine",
+    "RunResult",
+    "VertexProgram",
+    "EngineError",
+    "GraphError",
+    "PQLCompatibilityError",
+    "PQLError",
+    "PQLSemanticError",
+    "PQLSyntaxError",
+    "ProvenanceError",
+    "ReproError",
+    "VertexProgramError",
+    "BipartiteGraph",
+    "DiGraph",
+    "ProvenanceStore",
+    "OnlineRunResult",
+    "QueryResult",
+    "run_layered",
+    "run_naive",
+    "run_online",
+    "run_reference",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Graph analytics evaluated in the paper: PageRank, SSSP, WCC, ALS."""
+
+from typing import Any, Dict
+
+from repro.analytics.als import ALS, ALSProgram, rmse_of_run
+from repro.analytics.base import Analytic
+from repro.analytics.bfs import BFS, BFSProgram
+from repro.analytics.hits import HITS, HITSProgram
+from repro.analytics.kcore import KCore, KCoreProgram, h_index
+from repro.analytics.label_propagation import (
+    LabelPropagation,
+    LabelPropagationProgram,
+)
+from repro.analytics.error import lp_norm, median, normalized_error, trimmed_mean
+from repro.analytics.pagerank import (
+    ApproximatePageRankProgram,
+    PageRank,
+    PageRankProgram,
+)
+from repro.analytics.sssp import SSSP, SSSPProgram
+from repro.analytics.wcc import WCC, WCCProgram
+
+#: The epsilon the paper found transferable across datasets (Section 6.2.2).
+PAPER_EPSILONS: Dict[str, float] = {
+    "pagerank": 0.01,
+    "sssp": 0.1,
+    "wcc": 1.0,
+}
+
+
+def make_analytic(name: str, **kwargs: Any) -> Analytic:
+    """Factory by analytic name ('pagerank', 'sssp', 'wcc', 'als')."""
+    name = name.lower()
+    if name == "pagerank":
+        return PageRank(**kwargs)
+    if name == "sssp":
+        return SSSP(**kwargs)
+    if name == "wcc":
+        return WCC(**kwargs)
+    if name == "als":
+        return ALS(**kwargs)
+    if name == "bfs":
+        return BFS(**kwargs)
+    if name == "hits":
+        return HITS(**kwargs)
+    if name in ("label-propagation", "label_propagation"):
+        return LabelPropagation(**kwargs)
+    if name == "kcore":
+        return KCore(**kwargs)
+    raise ValueError(f"unknown analytic {name!r}")
+
+
+__all__ = [
+    "ALS",
+    "ALSProgram",
+    "BFS",
+    "BFSProgram",
+    "HITS",
+    "HITSProgram",
+    "KCore",
+    "KCoreProgram",
+    "h_index",
+    "LabelPropagation",
+    "LabelPropagationProgram",
+    "rmse_of_run",
+    "Analytic",
+    "lp_norm",
+    "median",
+    "normalized_error",
+    "trimmed_mean",
+    "ApproximatePageRankProgram",
+    "PageRank",
+    "PageRankProgram",
+    "SSSP",
+    "SSSPProgram",
+    "WCC",
+    "WCCProgram",
+    "PAPER_EPSILONS",
+    "make_analytic",
+]

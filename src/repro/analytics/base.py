@@ -1,0 +1,73 @@
+"""Analytic abstraction.
+
+An :class:`Analytic` bundles a vertex program factory with the metadata
+Ariadne needs to reason about it declaratively:
+
+* ``value_diff`` — the ``udf-diff`` comparison of the paper's apt query
+  (absolute difference for PageRank/SSSP/WCC, euclidean distance for ALS);
+* ``provenance_value`` — how a vertex value is projected into the
+  ``value(x, d, i)`` provenance relation (identity for scalars; analytics
+  with composite state project the semantically meaningful part);
+* ``result_vector`` — the result as a vector for the paper's normalized
+  Lp error metric (Section 6.2.2).
+
+``make_program()`` returns a *fresh* program instance per run so that any
+program-local state (ALS convergence tracking) never leaks across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.engine.vertex import VertexProgram
+
+
+class Analytic:
+    """Base class for the analytics Ariadne manages provenance for."""
+
+    name = "analytic"
+
+    def make_program(self) -> VertexProgram:
+        raise NotImplementedError
+
+    # -- apt query / provenance hooks -----------------------------------
+    def value_diff(self, d1: Any, d2: Any) -> float:
+        """Distance between two vertex values (the paper's udf-diff)."""
+        if d1 is None or d2 is None:
+            return float("inf")
+        return abs(float(d1) - float(d2))
+
+    def provenance_value(self, value: Any) -> Any:
+        """Projection of a vertex value recorded as ``value(x, d, i)``."""
+        return value
+
+    # -- error metrics ---------------------------------------------------
+    def result_vector(self, values: Dict[Any, Any]) -> List[float]:
+        """The run result as a flat vector in sorted-vertex order."""
+        out: List[float] = []
+        for v in sorted(values, key=repr):
+            out.extend(self._flatten(values[v]))
+        return out
+
+    @staticmethod
+    def _flatten(value: Any) -> List[float]:
+        if value is None:
+            return [0.0]
+        if isinstance(value, (int, float)):
+            return [float(value)]
+        if isinstance(value, (tuple, list)):
+            flat: List[float] = []
+            for item in value:
+                flat.extend(Analytic._flatten(item))
+            return flat
+        tolist = getattr(value, "tolist", None)
+        if tolist is not None:  # numpy
+            return Analytic._flatten(tolist())
+        return [float(value)]
+
+    def default_error_norm(self) -> int:
+        """The Lp order the paper uses for this analytic's error tables."""
+        return 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Analytic {self.name}>"

@@ -1,0 +1,60 @@
+"""Breadth-first search layers — the simplest possible VC analytic.
+
+Assigns each vertex its hop distance from a source over *directed* edges.
+Used pervasively in the test suite (its provenance is tiny and easy to
+reason about: each vertex is active at most twice) and useful as a minimal
+template for new analytics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence
+
+from repro.analytics.base import Analytic
+from repro.engine.vertex import MinCombiner, VertexContext, VertexProgram
+
+
+class BFSProgram(VertexProgram):
+    """Hop distance from a source vertex (directed edges)."""
+
+    name = "bfs"
+
+    def __init__(self, source: Any):
+        self.source = source
+
+    def initial_value(self, vertex_id: Any, graph: Any) -> float:
+        return math.inf
+
+    def combiner(self):
+        return MinCombiner()
+
+    def compute(self, ctx: VertexContext, messages: Sequence[float]) -> None:
+        candidate = math.inf
+        if ctx.superstep == 0 and ctx.vertex_id == self.source:
+            candidate = 0
+        for m in messages:
+            if m < candidate:
+                candidate = m
+        if candidate < ctx.value:
+            ctx.set_value(candidate)
+            ctx.send_to_all(candidate + 1)
+        ctx.vote_to_halt()
+
+
+class BFS(Analytic):
+    """Hop-distance analytic (directed breadth-first search)."""
+
+    name = "bfs"
+
+    def __init__(self, source: Any = 0):
+        self.source = source
+
+    def make_program(self) -> BFSProgram:
+        return BFSProgram(self.source)
+
+    def default_error_norm(self) -> int:
+        return 1
+
+    def reached(self, values: Dict[Any, Any]) -> List[Any]:
+        return [v for v, d in values.items() if not math.isinf(d)]

@@ -1,0 +1,85 @@
+"""Approximation-error metrics (Section 6.2.2 of the paper).
+
+The paper measures the error of an approximate analytic the same way as
+Shang & Yu (auto-approximation): the normalized Lp norm
+
+    error = Lp(r0 - r1) / Lp(r0)
+
+where ``r0`` is the exact result vector and ``r1`` the optimized one.
+PageRank uses L2 (Table 5), SSSP uses L1 (Table 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from repro.errors import BenchmarkError
+
+
+def lp_norm(vector: Iterable[float], p: int = 2) -> float:
+    """The Lp norm ``(sum |v_i|^p)^(1/p)``; p=0 means L-infinity."""
+    values = [abs(float(v)) for v in vector]
+    if not values:
+        return 0.0
+    if p == 0:
+        return max(values)
+    if p == 1:
+        return sum(values)
+    if p == 2:
+        return math.sqrt(sum(v * v for v in values))
+    return sum(v**p for v in values) ** (1.0 / p)
+
+
+def normalized_error(
+    exact: Sequence[float], approx: Sequence[float], p: int = 2
+) -> float:
+    """``Lp(exact - approx) / Lp(exact)``.
+
+    Infinite entries (e.g. SSSP-unreachable vertices) are excluded pairwise:
+    both runs agree a vertex is unreachable, so it carries no error signal.
+    """
+    if len(exact) != len(approx):
+        raise BenchmarkError(
+            f"result vectors differ in length: {len(exact)} vs {len(approx)}"
+        )
+    diffs: List[float] = []
+    base: List[float] = []
+    for e, a in zip(exact, approx):
+        if math.isinf(e) or math.isinf(a):
+            if e != a:
+                # One run reached the vertex, the other did not: maximal
+                # disagreement, count the reachable distance twice.
+                finite = a if math.isinf(e) else e
+                diffs.append(2.0 * abs(finite))
+                base.append(abs(finite))
+            continue
+        diffs.append(e - a)
+        base.append(e)
+    denom = lp_norm(base, p)
+    if denom == 0.0:
+        return 0.0 if lp_norm(diffs, p) == 0.0 else float("inf")
+    return lp_norm(diffs, p) / denom
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of finite entries (Tables 5/6 report result medians)."""
+    finite = sorted(v for v in values if not math.isinf(v))
+    if not finite:
+        return float("inf")
+    mid = len(finite) // 2
+    if len(finite) % 2 == 1:
+        return finite[mid]
+    return 0.5 * (finite[mid - 1] + finite[mid])
+
+
+def trimmed_mean(values: Sequence[float]) -> float:
+    """Mean after dropping the min and max (the paper reports query runtimes
+    as the trimmed mean of 5 runs, removing shortest and longest)."""
+    if not values:
+        raise BenchmarkError("trimmed_mean of empty sequence")
+    if len(values) <= 2:
+        return sum(values) / len(values)
+    ordered = sorted(values)
+    trimmed = ordered[1:-1]
+    return sum(trimmed) / len(trimmed)

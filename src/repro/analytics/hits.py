@@ -1,0 +1,112 @@
+"""HITS (hubs and authorities) — an additional vertex-centric analytic.
+
+Not part of the paper's evaluation, but a natural member of the library: a
+two-phase iterative analytic whose vertex value is a *pair* (hub, authority),
+exercising Ariadne with composite vertex values. Each round takes two
+supersteps:
+
+* even superstep: every vertex sends its hub score to its out-neighbors
+  (authority contributions) and its authority score to its in-neighbors is
+  impossible in pure Pregel, so instead out-neighbors reply — we use the
+  standard two-pass formulation: authorities gather hub scores, then hubs
+  gather authority scores over the reverse direction using ``in_neighbors``.
+
+Scores are L2-normalized per round via aggregators, matching the classical
+power-iteration formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.analytics.base import Analytic
+from repro.engine.aggregators import Aggregator, sum_aggregator
+from repro.engine.vertex import VertexContext, VertexProgram
+
+
+class HITSProgram(VertexProgram):
+    """Alternating hub/authority power iteration.
+
+    Vertex value: ``(hub, authority)``. Odd supersteps update authorities
+    from received hub scores; even supersteps (after 0) update hubs from
+    received authority scores. Normalization uses the previous superstep's
+    global sum of squares (one superstep of lag, standard for BSP HITS).
+    """
+
+    name = "hits"
+
+    def __init__(self, num_rounds: int = 10):
+        self.num_rounds = num_rounds
+        self.max_supersteps = 2 * num_rounds + 1
+
+    def initial_value(self, vertex_id: Any, graph: Any) -> Tuple[float, float]:
+        return (1.0, 1.0)
+
+    def aggregators(self) -> Dict[str, Aggregator]:
+        return {
+            "hits.hub_sq": sum_aggregator(),
+            "hits.auth_sq": sum_aggregator(),
+        }
+
+    def compute(
+        self, ctx: VertexContext, messages: Sequence[float]
+    ) -> None:
+        hub, auth = ctx.value
+        step = ctx.superstep
+        if step == 0:
+            # hubs push their scores forward to seed authority updates
+            ctx.send_to_all(hub)
+            ctx.aggregate("hits.hub_sq", hub * hub)
+            ctx.aggregate("hits.auth_sq", auth * auth)
+            if self.max_supersteps == 1:
+                ctx.vote_to_halt()
+            return
+        if step >= self.max_supersteps:
+            ctx.vote_to_halt()
+            return
+        if step % 2 == 1:
+            # authority update: gather hub mass, normalize by global hub norm
+            norm = math.sqrt(max(ctx.aggregated("hits.hub_sq"), 1e-30))
+            auth = sum(messages) / norm
+            ctx.set_value((hub, auth))
+            # push the new authority score backwards along in-edges
+            for neighbor in ctx.in_neighbors():
+                ctx.send(neighbor, auth)
+        else:
+            norm = math.sqrt(max(ctx.aggregated("hits.auth_sq"), 1e-30))
+            hub = sum(messages) / norm
+            ctx.set_value((hub, auth))
+            ctx.send_to_all(hub)
+        ctx.aggregate("hits.hub_sq", hub * hub)
+        ctx.aggregate("hits.auth_sq", auth * auth)
+        if step + 1 >= self.max_supersteps:
+            ctx.vote_to_halt()
+
+
+class HITS(Analytic):
+    """Hubs-and-authorities analytic with composite vertex values."""
+
+    name = "hits"
+
+    def __init__(self, num_rounds: int = 10):
+        self.num_rounds = num_rounds
+
+    def make_program(self) -> HITSProgram:
+        return HITSProgram(self.num_rounds)
+
+    def value_diff(self, d1: Any, d2: Any) -> float:
+        if d1 is None or d2 is None:
+            return float("inf")
+        return math.sqrt(
+            (d1[0] - d2[0]) ** 2 + (d1[1] - d2[1]) ** 2
+        )
+
+    def provenance_value(self, value: Any) -> Tuple[float, float]:
+        return (float(value[0]), float(value[1]))
+
+    def hubs(self, values: Dict[Any, Any]) -> Dict[Any, float]:
+        return {v: float(val[0]) for v, val in values.items()}
+
+    def authorities(self, values: Dict[Any, Any]) -> Dict[Any, float]:
+        return {v: float(val[1]) for v, val in values.items()}

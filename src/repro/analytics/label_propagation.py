@@ -1,0 +1,77 @@
+"""Label-propagation community detection — an additional analytic.
+
+Semi-synchronous label propagation: every vertex adopts the most frequent
+label among its neighbors (ties break toward the smaller label, which makes
+the algorithm deterministic in BSP), stopping when no label changes or after
+``max_rounds``. A classic analytic for Ariadne's monitoring queries: unlike
+SSSP/WCC its updates are *not* monotone, so Query 5's monotonicity check
+demonstrates a true negative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analytics.base import Analytic
+from repro.engine.vertex import VertexContext, VertexProgram
+
+
+class LabelPropagationProgram(VertexProgram):
+    """Synchronous label propagation over undirected adjacency."""
+
+    name = "label-propagation"
+
+    def __init__(self, max_rounds: int = 15):
+        self.max_rounds = max_rounds
+
+    def initial_value(self, vertex_id: Any, graph: Any) -> Any:
+        return vertex_id
+
+    def _broadcast(self, ctx: VertexContext, label: Any) -> None:
+        sent: set = set()
+        for target, _ in ctx.out_edges():
+            if target not in sent:
+                sent.add(target)
+                ctx.send(target, label)
+        for target in ctx.in_neighbors():
+            if target not in sent:
+                sent.add(target)
+                ctx.send(target, label)
+
+    def compute(self, ctx: VertexContext, messages: Sequence[Any]) -> None:
+        if ctx.superstep == 0:
+            self._broadcast(ctx, ctx.value)
+            ctx.vote_to_halt()
+            return
+        if ctx.superstep > self.max_rounds:
+            ctx.vote_to_halt()
+            return
+        counts: Dict[Any, int] = {}
+        for label in messages:
+            counts[label] = counts.get(label, 0) + 1
+        if counts:
+            # most frequent label; ties toward the smallest label
+            best = min(counts, key=lambda lab: (-counts[lab], lab))
+            if best != ctx.value:
+                ctx.set_value(best)
+                self._broadcast(ctx, best)
+        ctx.vote_to_halt()
+
+
+class LabelPropagation(Analytic):
+    """Community detection by synchronous label propagation."""
+
+    name = "label-propagation"
+
+    def __init__(self, max_rounds: int = 15):
+        self.max_rounds = max_rounds
+
+    def make_program(self) -> LabelPropagationProgram:
+        return LabelPropagationProgram(self.max_rounds)
+
+    def communities(self, values: Dict[Any, Any]) -> Dict[Any, List[Any]]:
+        """Group vertices by final label."""
+        groups: Dict[Any, List[Any]] = {}
+        for vertex, label in values.items():
+            groups.setdefault(label, []).append(vertex)
+        return groups

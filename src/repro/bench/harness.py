@@ -1,0 +1,108 @@
+"""Measurement harness for the benchmark suite.
+
+Times the four execution modes the paper compares — baseline (Giraph),
+online, capture, layered/naive offline — and reports overheads as multiples
+of the baseline, exactly as Figures 7-12 do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.analytics.base import Analytic
+from repro.analytics.error import trimmed_mean
+from repro.bench.workloads import repeats
+from repro.core import queries as Q
+from repro.engine.engine import PregelEngine
+from repro.graph.digraph import DiGraph
+from repro.provenance.spill import SpillManager
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.offline import run_layered_from_spill, run_naive_from_spill
+from repro.runtime.online import run_online
+
+
+def timed(fn: Callable[[], Any], n: Optional[int] = None) -> float:
+    """Trimmed-mean wall time of ``fn`` over ``n`` runs (paper: 5 runs,
+    drop shortest and longest; benches default to 1 for wall-time budget,
+    override with REPRO_BENCH_REPEATS)."""
+    n = n or repeats()
+    samples = []
+    for _ in range(n):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return trimmed_mean(samples)
+
+
+@dataclass
+class ModeTimings:
+    """Wall times of the evaluation modes for one (analytic, query) pair."""
+
+    baseline: float
+    online: Optional[float] = None
+    capture: Optional[float] = None
+    layered: Optional[float] = None
+    naive: Optional[float] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def over(self, t: Optional[float]) -> Optional[float]:
+        if t is None:
+            return None
+        return t / self.baseline if self.baseline else float("inf")
+
+
+def measure_query_modes(
+    graph: DiGraph,
+    analytic: Analytic,
+    query: str,
+    params: Optional[Dict[str, Any]] = None,
+    udfs: Optional[Dict[str, Callable[..., Any]]] = None,
+    store: Optional[ProvenanceStore] = None,
+    with_naive: bool = True,
+    with_online: bool = True,
+) -> ModeTimings:
+    """Time baseline / online / layered / naive for one query.
+
+    Offline modes are measured from sealed spill slabs (the paper's stored
+    provenance), excluding the capture time — matching "the running times
+    reported for offline querying do not include the capturing overheads".
+    """
+    merged_udfs = dict(Q.apt_udfs(analytic))
+    if udfs:
+        merged_udfs.update(udfs)
+
+    baseline = timed(
+        lambda: PregelEngine(graph).run(analytic.make_program())
+    )
+    timings = ModeTimings(baseline=baseline)
+
+    if with_online:
+        timings.online = timed(
+            lambda: run_online(graph, analytic, query, params=params,
+                               udfs=merged_udfs)
+        )
+
+    if store is None:
+        capture_start = time.perf_counter()
+        store = run_online(
+            graph, analytic, Q.CAPTURE_FULL_QUERY, capture=True
+        ).store
+        timings.capture = time.perf_counter() - capture_start
+
+    spill = SpillManager(store)
+    try:
+        spill.seal_all()
+        timings.layered = timed(
+            lambda: run_layered_from_spill(spill, query, graph, params,
+                                           merged_udfs)
+        )
+        if with_naive:
+            timings.naive = timed(
+                lambda: run_naive_from_spill(spill, query, graph, params,
+                                             merged_udfs)
+            )
+    finally:
+        spill.close()
+    return timings

@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands mirror the Ariadne workflows:
+
+* ``run``      — run an analytic, print result metrics (the baseline);
+* ``monitor``  — run with an online query, print derived-relation counts;
+* ``apt``      — run the approximate-optimization query, print the verdict;
+* ``capture``  — run with a capture query, seal the store to a directory;
+* ``query``    — evaluate a query offline (layered/naive) over a sealed store;
+* ``inspect``  — print a vertex's provenance history from a sealed store;
+* ``datasets`` — list the Table 2 dataset registry.
+
+Examples::
+
+    python -m repro run --analytic pagerank --dataset IN-04
+    python -m repro apt --analytic sssp --dataset UK-02 --eps 0.1
+    python -m repro capture --analytic sssp --dataset IN-04 --out /tmp/prov
+    python -m repro query --store /tmp/prov --query-file trace.pql \\
+        --param alpha=5 --param sigma=12 --mode layered
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.core import queries as Q
+from repro.core.ariadne import Ariadne
+from repro.errors import ReproError
+from repro.graph.datasets import WEB_DATASET_ORDER, WEB_DATASETS, load_web_dataset
+from repro.graph.digraph import DiGraph
+from repro.graph.io import read_edge_list
+from repro.provenance.spill import SpillManager, rebuild_store
+from repro.runtime.offline import run_layered, run_naive
+
+NAMED_QUERIES: Dict[str, str] = {
+    "query1": Q.APT_QUERY,
+    "apt": Q.APT_QUERY,
+    "query2": Q.CAPTURE_FULL_QUERY,
+    "capture-full": Q.CAPTURE_FULL_QUERY,
+    "query3": Q.CAPTURE_FWD_LINEAGE_QUERY,
+    "query4": Q.PAGERANK_CHECK_QUERY,
+    "query5": Q.SSSP_WCC_UPDATE_CHECK_QUERY,
+    "query6": Q.SSSP_WCC_STABILITY_QUERY,
+    "query7": Q.ALS_ERROR_RANGE_QUERY,
+    "query8": Q.ALS_ERROR_TREND_QUERY,
+    "query10": Q.BACKWARD_LINEAGE_FULL_QUERY,
+    "query11": Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
+    "query12": Q.BACKWARD_LINEAGE_CUSTOM_QUERY,
+}
+
+
+def _parse_param(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _params(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise ReproError(f"--param expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        params[name] = _parse_param(value)
+    return params
+
+
+def _load_graph(args: argparse.Namespace) -> DiGraph:
+    weighted = args.analytic == "sssp" or getattr(args, "weighted", False)
+    if args.graph:
+        return read_edge_list(args.graph, weighted=weighted)
+    name = args.dataset or "IN-04"
+    return load_web_dataset(name, weighted=weighted)
+
+
+def _make_analytic(args: argparse.Namespace):
+    name = args.analytic
+    epsilon = getattr(args, "approx_eps", None)
+    if name == "pagerank":
+        return PageRank(num_supersteps=args.supersteps, epsilon=epsilon)
+    if name == "sssp":
+        return SSSP(source=args.source, epsilon=epsilon or 0.0)
+    if name == "wcc":
+        return WCC(epsilon=epsilon or 0.0)
+    raise ReproError(f"unknown analytic {name!r} (pagerank | sssp | wcc)")
+
+
+def _query_text(args: argparse.Namespace) -> str:
+    if getattr(args, "query_file", None):
+        with open(args.query_file, "r", encoding="utf-8") as fh:
+            return fh.read()
+    name = getattr(args, "query", None)
+    if name in NAMED_QUERIES:
+        return NAMED_QUERIES[name]
+    if name:
+        return name  # assume inline PQL source
+    raise ReproError("provide --query NAME or --query-file FILE")
+
+
+def _print_query_result(result: Any) -> None:
+    for relation in sorted(result.relations()):
+        print(f"  {relation}: {result.count(relation)} rows")
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    ariadne = Ariadne(graph, _make_analytic(args))
+    start = time.perf_counter()
+    result = ariadne.baseline()
+    elapsed = time.perf_counter() - start
+    print(f"analytic:    {ariadne.analytic.name}")
+    print(f"graph:       |V|={graph.num_vertices} |E|={graph.num_edges}")
+    print(f"supersteps:  {result.num_supersteps} ({result.halt_reason})")
+    print(f"messages:    {result.metrics.total_messages}")
+    print(f"wall:        {elapsed:.3f}s")
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    ariadne = Ariadne(graph, _make_analytic(args))
+    result = ariadne.query_online(_query_text(args), params=_params(args.param))
+    print(f"online run: {result.analytic.num_supersteps} supersteps, "
+          f"{result.query.wall_seconds:.3f}s")
+    _print_query_result(result.query)
+    return 0
+
+
+def cmd_apt(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    ariadne = Ariadne(graph, _make_analytic(args))
+    result = ariadne.apt(epsilon=args.eps)
+    safe = result.query.count("safe")
+    unsafe = result.query.count("unsafe")
+    print(f"apt verdict at eps={args.eps}: safe={safe} unsafe={unsafe}")
+    if unsafe == 0 and safe:
+        print("-> approximation looks SAFE; rerun the analytic with "
+              f"--approx-eps {args.eps} to collect the speedup")
+    elif safe == 0 and unsafe:
+        print("-> approximation is UNSAFE for this analytic")
+    else:
+        print("-> mixed verdict; inspect the unsafe vertices")
+    return 0
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    ariadne = Ariadne(graph, _make_analytic(args))
+    query = _query_text(args) if (args.query or args.query_file) else (
+        Q.CAPTURE_FULL_QUERY
+    )
+    result = ariadne.capture(query, params=_params(args.param))
+    store = result.store
+    spill = SpillManager(store, directory=args.out)
+    bytes_sealed = spill.seal_all()
+    print(f"captured {store.num_rows} facts over {store.num_layers} layers")
+    for relation, count in sorted(store.counts().items()):
+        print(f"  {relation}: {count}")
+    print(f"sealed {bytes_sealed} bytes to {spill.directory}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    spill = SpillManager.open(args.store)
+    store = rebuild_store(spill)
+    graph = _load_graph(args) if (args.graph or args.dataset) else None
+    params = _params(args.param)
+    if args.mode == "layered":
+        result = run_layered(store, _query_text(args), graph, params)
+    else:
+        result = run_naive(store, _query_text(args), graph, params)
+    print(f"{args.mode} evaluation: {result.wall_seconds:.3f}s, "
+          f"{result.derivations} derivations")
+    _print_query_result(result)
+    if args.show:
+        for relation in args.show:
+            for row in result.rows(relation)[: args.limit]:
+                print(f"  {relation}{row}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.provenance import inspect as pinspect
+
+    spill = SpillManager.open(args.store)
+    store = rebuild_store(spill)
+    if args.vertex is None:
+        print(pinspect.summarize(store))
+    else:
+        vertex = _parse_param(args.vertex)
+        print(pinspect.render_vertex(store, vertex))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.provenance.export import export_path
+
+    spill = SpillManager.open(args.store)
+    store = rebuild_store(spill)
+    written = export_path(store, args.out)
+    print(f"exported {written} facts to {args.out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.pql.analysis import compile_query
+    from repro.pql.explain import explain
+    from repro.pql.parser import parse
+    from repro.pql.udf import FunctionRegistry
+
+    program = parse(_query_text(args))
+    params = _params(args.param)
+    if params:
+        program = program.bind(**params)
+    funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
+    compiled = compile_query(program, functions=funcs)
+    print(explain(compiled, verbose=args.verbose))
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':8} {'paper |V|':>12} {'paper |E|':>13} "
+          f"{'avg deg':>8} {'avg diam':>9}")
+    for name in WEB_DATASET_ORDER:
+        spec = WEB_DATASETS[name]
+        print(f"{name:8} {spec.paper_vertices:>12,} {spec.paper_edges:>13,} "
+              f"{spec.paper_avg_degree:>8.2f} {spec.paper_avg_diameter:>9.2f}")
+    print("ML-20    138,493 users x 26,744 movies, 20M ratings")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--analytic", default="pagerank",
+                        help="pagerank | sssp | wcc")
+    parser.add_argument("--dataset", help="Table 2 dataset name (e.g. UK-02)")
+    parser.add_argument("--graph", help="edge-list file instead of a dataset")
+    parser.add_argument("--weighted", action="store_true",
+                        help="edge list has weights")
+    parser.add_argument("--supersteps", type=int, default=20,
+                        help="PageRank superstep count")
+    parser.add_argument("--source", type=int, default=0, help="SSSP source")
+    parser.add_argument("--approx-eps", type=float, default=None,
+                        help="run the approximate analytic variant")
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--query", help="named query (query1..query12) or "
+                                        "inline PQL")
+    parser.add_argument("--query-file", help="file with PQL source")
+    parser.add_argument("--param", action="append",
+                        help="query parameter name=value (repeatable)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ariadne reproduction: provenance for graph analytics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run an analytic (baseline)")
+    _add_workload_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("monitor", help="run with an online query")
+    _add_workload_args(p)
+    _add_query_args(p)
+    p.set_defaults(fn=cmd_monitor)
+
+    p = sub.add_parser("apt", help="approximate-optimization verdict")
+    _add_workload_args(p)
+    p.add_argument("--eps", type=float, required=True)
+    p.set_defaults(fn=cmd_apt)
+
+    p = sub.add_parser("capture", help="capture provenance to a directory")
+    _add_workload_args(p)
+    _add_query_args(p)
+    p.add_argument("--out", required=True, help="output directory")
+    p.set_defaults(fn=cmd_capture)
+
+    p = sub.add_parser("query", help="offline query over a sealed store")
+    _add_workload_args(p)
+    _add_query_args(p)
+    p.add_argument("--store", required=True, help="sealed store directory")
+    p.add_argument("--mode", default="layered", choices=("layered", "naive"))
+    p.add_argument("--show", action="append",
+                   help="print rows of this relation (repeatable)")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("inspect", help="inspect a sealed store")
+    p.add_argument("--store", required=True)
+    p.add_argument("--vertex", help="vertex id to render (default: summary)")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("export", help="export a sealed store as JSON lines")
+    p.add_argument("--store", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("explain", help="show a query's compilation report")
+    _add_query_args(p)
+    p.add_argument("--verbose", action="store_true",
+                   help="show all binding-mode plans")
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("datasets", help="list the Table 2 registry")
+    p.set_defaults(fn=cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

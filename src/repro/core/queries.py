@@ -1,0 +1,187 @@
+"""The paper's PQL queries (Sections 4 and 6) in this library's syntax.
+
+Differences from the paper's listings, all documented in DESIGN.md:
+
+* predicate names use underscores (``receive_message``), variables are
+  capitalized, parameters are ``$name`` placeholders;
+* Query 2 explicitly captures ``superstep`` and ``evolution`` (the paper's
+  offline queries read them, so full capture must store them);
+* Query 4 checks "has no in-edges" with negation instead of joining an
+  in-degree of zero (a zero-count group does not exist under aggregate
+  semantics — the paper's formulation would never fire);
+* Query 7's range checks use the ``outside(v, lo, hi)`` builtin — the
+  paper's printed conjunction ``e < 0, e > 5`` is unsatisfiable as written;
+* the ALS queries derive ``prov_error`` / ``prov_prediction`` from the
+  ``(rating, prediction, error)`` edge values the ALS analytic records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.analytics.base import Analytic
+
+# ---------------------------------------------------------------------------
+# Query 1 — the apt (approximate-optimization) query, Section 2.2 / 6.2.2
+# ---------------------------------------------------------------------------
+APT_QUERY = """
+change(X, I)          :- value(X, D1, I), value(X, D2, J), evolution(X, J, I),
+                         udf_diff(D1, D2, $eps).
+neighbor_change(X, I) :- receive_message(X, Y, M, I), !change(Y, J), J = I - 1.
+% I > 0: every vertex must execute at superstep 0 in the Pregel model, so
+% "would not execute" is only meaningful from superstep 1 on.
+no_execute(X, I)      :- !neighbor_change(X, I), superstep(X, I), I > 0.
+safe(X, I)            :- no_execute(X, I), change(X, I).
+unsafe(X, I)          :- no_execute(X, I), !change(X, I).
+"""
+
+
+def apt_udfs(analytic: Analytic) -> Dict[str, Callable[..., Any]]:
+    """The udf-diff the apt query is parameterized by: true iff the two
+    vertex values differ by *less* than the threshold (a small update)."""
+
+    def udf_diff(d1: Any, d2: Any, eps: float) -> bool:
+        return analytic.value_diff(d1, d2) < eps
+
+    return {"udf_diff": udf_diff}
+
+
+# ---------------------------------------------------------------------------
+# Query 2 — capture the full provenance graph (Section 6.1)
+# ---------------------------------------------------------------------------
+CAPTURE_FULL_QUERY = """
+value(X, V, I)              :- vertex_value(X, V), superstep(X, I).
+send_message(X, Y, M, I)    :- send(X, Y, M), superstep(X, I).
+receive_message(X, Y, M, I) :- receive(X, Y, M), superstep(X, I).
+% The offline queries read superstep/evolution, so full capture persists
+% them too (the rules copy the transient relations into the store).
+superstep(X, I)             :- superstep(X, I).
+evolution(X, J, I)          :- evolution(X, J, I).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 3 — capture custom provenance: forward lineage of one vertex
+# ---------------------------------------------------------------------------
+CAPTURE_FWD_LINEAGE_QUERY = """
+fwd_lineage(X, V, I) :- value(X, V, I), superstep(X, I), X = $source, I = 0.
+fwd_lineage(X, V, I) :- receive_message(X, Y, M, I), fwd_lineage(Y, W, J),
+                        J < I, value(X, V, I).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 4 — PageRank execution monitoring (Section 6.2.1)
+# ---------------------------------------------------------------------------
+PAGERANK_CHECK_QUERY = """
+has_in(X)             :- edge(Y, X).
+check_failed(X, Y, I) :- receive_message(X, Y, M, I), !has_in(X).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 5 — SSSP / WCC update-validity check
+# ---------------------------------------------------------------------------
+SSSP_WCC_UPDATE_CHECK_QUERY = """
+received(X, I)     :- receive_message(X, Y, M, I).
+updated(X, I)      :- value(X, D2, I), value(X, D1, J), evolution(X, J, I),
+                      D2 != D1.
+check_failed(X, I) :- updated(X, I), !received(X, I).
+check_failed(X, I) :- value(X, D2, I), value(X, D1, J), evolution(X, J, I),
+                      D2 > D1.
+"""
+
+# ---------------------------------------------------------------------------
+# Query 6 — SSSP / WCC no-messages-implies-no-change check
+# ---------------------------------------------------------------------------
+SSSP_WCC_STABILITY_QUERY = """
+neighbor_change(X, I) :- receive_message(X, Y, M, I).
+problem(X, I)         :- value(X, D1, I), value(X, D2, J), evolution(X, J, I),
+                         !neighbor_change(X, I), D1 != D2.
+"""
+
+# ---------------------------------------------------------------------------
+# ALS prelude: project the (rating, prediction, error) edge values into the
+# relations the paper's ALS queries reference.
+# ---------------------------------------------------------------------------
+_ALS_PRELUDE = """
+prov_rating(X, Y, I, R)     :- edge_value(X, Y, V, I), R = elem(V, 0).
+prov_prediction(X, Y, I, P) :- edge_value(X, Y, V, I), P = elem(V, 1).
+prov_error(X, Y, I, E)      :- edge_value(X, Y, V, I), E = elem(V, 2).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 7 — ALS error-range check (input vs algorithm blame)
+# ---------------------------------------------------------------------------
+ALS_ERROR_RANGE_QUERY = _ALS_PRELUDE + """
+err_out(X, Y, I)      :- prov_error(X, Y, I, E), outside(E, -5.0, 5.0).
+input_failed(X, Y, I) :- err_out(X, Y, I), prov_rating(X, Y, I, R),
+                         outside(R, 0.0, 5.0).
+algo_failed(X, Y, I)  :- err_out(X, Y, I), prov_prediction(X, Y, I, P),
+                         outside(P, 0.0, 5.0).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 8 — ALS increasing-average-error detection
+# ---------------------------------------------------------------------------
+ALS_ERROR_TREND_QUERY = _ALS_PRELUDE + """
+degree(X, count(Y))     :- receive_message(X, Y, M, I).
+sum_error(X, I, sum(E)) :- prov_error(X, Y, I, E).
+avg_error(X, I, S / D)  :- sum_error(X, I, S), degree(X, D).
+problem(X, E1, E2, I)   :- avg_error(X, I, E1), avg_error(X, J, E2),
+                           evolution(X, J, I), E1 > E2 + $eps.
+"""
+
+# ---------------------------------------------------------------------------
+# Query 10 — backward lineage over the full provenance graph (Section 6.3)
+# ---------------------------------------------------------------------------
+BACKWARD_LINEAGE_FULL_QUERY = """
+back_trace(X, I)   :- superstep(X, I), I = $sigma, X = $alpha.
+back_trace(X, I)   :- send_message(X, Y, M, I), back_trace(Y, J), J = I + 1.
+back_lineage(X, D) :- back_trace(X, I), value(X, D, I), I = 0.
+"""
+
+# ---------------------------------------------------------------------------
+# Query 11 — capture custom provenance for backward tracing
+# ---------------------------------------------------------------------------
+CAPTURE_BACKWARD_CUSTOM_QUERY = """
+prov_value(X, I, V) :- vertex_value(X, V), superstep(X, I).
+prov_send(X, I)     :- send(X, Y, M), superstep(X, I).
+prov_edges(X, Y)    :- edge(X, Y).
+"""
+
+#: Variant for analytics that broadcast along *reverse* edges too (WCC
+#: treats the graph as undirected). The paper's Query 11/12 shortcut assumes
+#: "vertices send messages to all their outgoing neighbors"; WCC sends to
+#: all *neighbors*, so the custom edge relation must be symmetric or the
+#: trace loses reverse-edge paths.
+CAPTURE_BACKWARD_CUSTOM_UNDIRECTED_QUERY = """
+prov_value(X, I, V) :- vertex_value(X, V), superstep(X, I).
+prov_send(X, I)     :- send(X, Y, M), superstep(X, I).
+prov_edges(X, Y)    :- edge(X, Y).
+prov_edges(X, Y)    :- edge(Y, X).
+"""
+
+# ---------------------------------------------------------------------------
+# Query 12 — backward lineage over the custom provenance graph
+# ---------------------------------------------------------------------------
+BACKWARD_LINEAGE_CUSTOM_QUERY = """
+back_trace(X, I)   :- prov_value(X, I, V), I = $sigma, X = $alpha.
+back_trace(X, I)   :- prov_edges(X, Y), prov_send(X, I), back_trace(Y, J),
+                      J = I + 1.
+back_lineage(X, D) :- back_trace(X, I), prov_value(X, I, D), I = 0.
+"""
+
+#: The monitoring queries Figure 8 / 9 evaluate, per analytic.
+MONITORING_QUERIES: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "pagerank": (("query4", PAGERANK_CHECK_QUERY),),
+    "sssp": (
+        ("query5", SSSP_WCC_UPDATE_CHECK_QUERY),
+        ("query6", SSSP_WCC_STABILITY_QUERY),
+    ),
+    "wcc": (
+        ("query5", SSSP_WCC_UPDATE_CHECK_QUERY),
+        ("query6", SSSP_WCC_STABILITY_QUERY),
+    ),
+    "als": (
+        ("query7", ALS_ERROR_RANGE_QUERY),
+        ("query8", ALS_ERROR_TREND_QUERY),
+    ),
+}

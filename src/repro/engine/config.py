@@ -1,0 +1,38 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EngineError
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for a :class:`~repro.engine.engine.PregelEngine` run.
+
+    Attributes:
+        num_workers: simulated worker count (the paper's cluster has 7
+            machines; messages that cross a worker boundary are counted as
+            network traffic in the metrics).
+        max_supersteps: hard stop even if the analytic has not converged.
+        track_message_bytes: estimate serialized message sizes per superstep.
+            Costs time, so benchmarks that only need wall-clock leave it off.
+        use_combiner: honor the vertex program's message combiner. Provenance
+            capture disables combining because it needs per-sender messages.
+        deterministic_delivery: sort each vertex's inbox by sender order
+            before compute. All library analytics are order-insensitive, but
+            tests that compare evaluation modes keep this on.
+    """
+
+    num_workers: int = 4
+    max_supersteps: int = 500
+    track_message_bytes: bool = False
+    use_combiner: bool = True
+    deterministic_delivery: bool = False
+
+    def validate(self) -> None:
+        if self.num_workers < 1:
+            raise EngineError("num_workers must be >= 1")
+        if self.max_supersteps < 1:
+            raise EngineError("max_supersteps must be >= 1")

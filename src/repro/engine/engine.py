@@ -1,0 +1,218 @@
+"""The BSP / vertex-centric execution engine (the Giraph stand-in).
+
+Executes a :class:`~repro.engine.vertex.VertexProgram` over a
+:class:`~repro.graph.digraph.DiGraph` in supersteps with Pregel semantics:
+
+* all vertices are active at superstep 0;
+* a vertex computes when it is active or has incoming messages;
+* messages sent at superstep *s* are delivered at *s + 1*;
+* ``vote_to_halt`` deactivates a vertex, a message reactivates it;
+* the run terminates when no vertex is active and no messages are in flight
+  (or a master convergence check fires, or ``max_supersteps`` is hit).
+
+The engine simulates ``num_workers`` workers with hash-partitioned vertices;
+messages crossing a partition boundary are counted as network traffic. The
+simulation is single-threaded — at the graph scales of the benchmark suite the
+GIL would serialize threads anyway, and determinism is worth more to a
+reproduction than fake parallelism.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.aggregators import AggregatorRegistry
+from repro.engine.config import EngineConfig
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.engine.vertex import VertexContext, VertexProgram
+from repro.errors import EngineError, VertexProgramError
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import HashPartitioner, Partitioner
+from repro.sizemodel import estimate_bytes
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    values: Dict[Any, Any]
+    metrics: RunMetrics
+    aggregators: Dict[str, Any] = field(default_factory=dict)
+    edge_values: Dict[Tuple[Any, Any], Any] = field(default_factory=dict)
+    halt_reason: str = "converged"
+
+    @property
+    def num_supersteps(self) -> int:
+        return self.metrics.num_supersteps
+
+    def value_of(self, vertex_id: Any) -> Any:
+        return self.values[vertex_id]
+
+
+class PregelEngine:
+    """Runs vertex programs over one graph.
+
+    The engine holds no per-run state between :meth:`run` calls, so one
+    engine can execute the baseline analytic, then the capture run, then
+    offline queries over the same input graph.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        config: Optional[EngineConfig] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or EngineConfig()
+        self.config.validate()
+        self.partitioner = partitioner or HashPartitioner(self.config.num_workers)
+        self._worker_of: Dict[Any, int] = {
+            v: self.partitioner.worker_of(v) for v in graph.vertices()
+        }
+        # --- per-run state (reset in run()) ---
+        self.aggregators = AggregatorRegistry()
+        self._outbox: Dict[Any, List[Any]] = {}
+        self._edge_overlay: Dict[Any, Dict[Any, Any]] = {}
+        self._combiner = None
+        self._current_step = SuperstepMetrics(0)
+        self._sender: Any = None
+
+    # ------------------------------------------------------------------
+    # context callbacks (kept on the engine so one context object suffices)
+    # ------------------------------------------------------------------
+    def _edges_of(self, vertex_id: Any) -> List[Tuple[Any, Any]]:
+        base = self.graph.out_edges(vertex_id)
+        overlay = self._edge_overlay.get(vertex_id)
+        if not overlay:
+            return base
+        return [(t, overlay.get(t, value)) for t, value in base]
+
+    def _edge_value(self, u: Any, v: Any) -> Any:
+        overlay = self._edge_overlay.get(u)
+        if overlay and v in overlay:
+            return overlay[v]
+        return self.graph.edge_value(u, v)
+
+    def _set_edge_value(self, u: Any, v: Any, value: Any) -> None:
+        if not self.graph.has_edge(u, v):
+            raise EngineError(f"cannot set value of missing edge {u!r}->{v!r}")
+        self._edge_overlay.setdefault(u, {})[v] = value
+
+    def _send(self, sender: Any, target: Any, message: Any) -> None:
+        if target not in self._worker_of:
+            raise EngineError(f"message to unknown vertex {target!r}")
+        step = self._current_step
+        step.messages_sent += 1
+        if self._worker_of[sender] != self._worker_of[target]:
+            step.cross_worker_messages += 1
+        if self.config.track_message_bytes:
+            step.message_bytes += estimate_bytes(message)
+        box = self._outbox.get(target)
+        if box is None:
+            self._outbox[target] = [message]
+        elif self._combiner is not None:
+            box[0] = self._combiner.combine(box[0], message)
+            step.messages_combined += 1
+        else:
+            box.append(message)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        max_supersteps: Optional[int] = None,
+    ) -> RunResult:
+        """Execute ``program`` to termination and return the result."""
+        limit = max_supersteps or self.config.max_supersteps
+        graph = self.graph
+
+        values: Dict[Any, Any] = {
+            v: program.initial_value(v, graph) for v in graph.vertices()
+        }
+        halted: Dict[Any, bool] = {v: False for v in graph.vertices()}
+        inbox: Dict[Any, List[Any]] = {}
+        self._outbox = {}
+        self._edge_overlay = {}
+        self.aggregators = AggregatorRegistry(program.aggregators())
+        self._combiner = program.combiner() if self.config.use_combiner else None
+
+        ctx = VertexContext(self)
+        metrics = RunMetrics()
+        halt_reason = "max_supersteps"
+        run_start = time.perf_counter()
+        no_messages: List[Any] = []
+
+        for superstep in range(limit):
+            step = SuperstepMetrics(superstep)
+            self._current_step = step
+            step_start = time.perf_counter()
+
+            # Workers iterate their partitions; single-threaded simulation.
+            computed_any = False
+            for vertex_id in graph.vertices():
+                messages = inbox.get(vertex_id)
+                if halted[vertex_id] and not messages:
+                    continue
+                computed_any = True
+                step.active_vertices += 1
+                if messages and self.config.deterministic_delivery:
+                    try:
+                        messages.sort(key=repr)
+                    except TypeError:  # pragma: no cover - defensive
+                        pass
+                ctx._bind(vertex_id, superstep, values[vertex_id])
+                try:
+                    program.compute(ctx, messages or no_messages)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except VertexProgramError:
+                    raise
+                except Exception as exc:
+                    raise VertexProgramError(vertex_id, superstep, exc) from exc
+                if ctx._value_changed:
+                    values[vertex_id] = ctx._value
+                halted[vertex_id] = ctx._halted
+
+            step.wall_seconds = time.perf_counter() - step_start
+            metrics.supersteps.append(step)
+
+            # --- barrier ---
+            inbox = self._outbox
+            self._outbox = {}
+            self.aggregators.barrier()
+
+            if not computed_any and not inbox:
+                halt_reason = "no_active_vertices"
+                break
+            if program.master_halt(self.aggregators, superstep):
+                halt_reason = "master_halt"
+                break
+            if not inbox and all(halted.values()):
+                halt_reason = "converged"
+                break
+
+        metrics.wall_seconds = time.perf_counter() - run_start
+        return RunResult(
+            values=values,
+            metrics=metrics,
+            aggregators=self.aggregators.values(),
+            edge_values={
+                (u, v): value
+                for u, targets in self._edge_overlay.items()
+                for v, value in targets.items()
+            },
+            halt_reason=halt_reason,
+        )
+
+
+def run_program(
+    graph: DiGraph,
+    program: VertexProgram,
+    config: Optional[EngineConfig] = None,
+    max_supersteps: Optional[int] = None,
+) -> RunResult:
+    """One-shot convenience wrapper: build an engine and run ``program``."""
+    return PregelEngine(graph, config=config).run(program, max_supersteps)

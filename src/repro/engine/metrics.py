@@ -1,0 +1,64 @@
+"""Execution metrics of an engine run.
+
+The paper's evaluation reports wall-clock overheads; a single-process
+simulation additionally records *work* counters (vertex executions, messages,
+bytes, cross-worker traffic) that are hardware-independent and therefore the
+more faithful basis for comparing evaluation modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class SuperstepMetrics:
+    """Counters for one superstep."""
+
+    superstep: int
+    active_vertices: int = 0
+    messages_sent: int = 0
+    messages_combined: int = 0
+    cross_worker_messages: int = 0
+    message_bytes: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class RunMetrics:
+    """Counters for a whole run plus the per-superstep breakdown."""
+
+    supersteps: List[SuperstepMetrics] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.supersteps)
+
+    @property
+    def total_active_vertices(self) -> int:
+        """Total vertex executions (the 'work' of the run)."""
+        return sum(s.active_vertices for s in self.supersteps)
+
+    @property
+    def total_message_bytes(self) -> int:
+        return sum(s.message_bytes for s in self.supersteps)
+
+    @property
+    def total_cross_worker_messages(self) -> int:
+        return sum(s.cross_worker_messages for s in self.supersteps)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "supersteps": self.num_supersteps,
+            "wall_seconds": self.wall_seconds,
+            "vertex_executions": self.total_active_vertices,
+            "messages": self.total_messages,
+            "message_bytes": self.total_message_bytes,
+            "cross_worker_messages": self.total_cross_worker_messages,
+        }

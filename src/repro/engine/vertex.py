@@ -1,0 +1,191 @@
+"""Vertex program abstraction and the per-vertex compute context.
+
+A :class:`VertexProgram` is the user-facing API mirroring Giraph's
+``BasicComputation``: one ``compute`` method that every active vertex runs
+each superstep (Algorithm 1 of the paper). The engine hands ``compute`` a
+:class:`VertexContext` through which the vertex reads its state, updates its
+value, sends messages and votes to halt.
+
+Ariadne's provenance machinery never subclasses the engine — it wraps a
+``VertexProgram`` in another ``VertexProgram`` (see ``repro.runtime``), which
+is exactly how the paper keeps the graph processing engine unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.aggregators import Aggregator
+from repro.errors import EngineError
+
+
+class Combiner:
+    """Message combiner: reduces messages addressed to the same target."""
+
+    def combine(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+
+class MinCombiner(Combiner):
+    def combine(self, a: Any, b: Any) -> Any:
+        return a if a <= b else b
+
+
+class MaxCombiner(Combiner):
+    def combine(self, a: Any, b: Any) -> Any:
+        return a if a >= b else b
+
+
+class SumCombiner(Combiner):
+    def combine(self, a: Any, b: Any) -> Any:
+        return a + b
+
+
+class VertexContext:
+    """Per-vertex view of the engine during ``compute``.
+
+    One context instance is reused across all vertices of a worker (the
+    engine rebinds it before each ``compute`` call) to keep the hot loop
+    allocation-free.
+    """
+
+    __slots__ = (
+        "_engine",
+        "vertex_id",
+        "superstep",
+        "_value",
+        "_value_changed",
+        "_halted",
+    )
+
+    def __init__(self, engine: "Any") -> None:
+        self._engine = engine
+        self.vertex_id: Any = None
+        self.superstep: int = 0
+        self._value: Any = None
+        self._value_changed = False
+        self._halted = False
+
+    def _bind(self, vertex_id: Any, superstep: int, value: Any) -> None:
+        self.vertex_id = vertex_id
+        self.superstep = superstep
+        self._value = value
+        self._value_changed = False
+        self._halted = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def set_value(self, value: Any) -> None:
+        self._value = value
+        self._value_changed = True
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.graph.num_vertices
+
+    # -- topology ------------------------------------------------------
+    def out_edges(self) -> List[Tuple[Any, Any]]:
+        """``(target, edge_value)`` pairs, honoring per-run edge updates."""
+        return self._engine._edges_of(self.vertex_id)
+
+    def out_neighbors(self) -> List[Any]:
+        return [t for t, _ in self.out_edges()]
+
+    def in_neighbors(self) -> List[Any]:
+        return self._engine.graph.in_neighbors(self.vertex_id)
+
+    def out_degree(self) -> int:
+        return len(self.out_edges())
+
+    def edge_value(self, target: Any) -> Any:
+        return self._engine._edge_value(self.vertex_id, target)
+
+    def set_edge_value(self, target: Any, value: Any) -> None:
+        """Update an out-edge's value in the run's overlay (the input graph
+        itself is never mutated by a run)."""
+        self._engine._set_edge_value(self.vertex_id, target, value)
+
+    # -- communication ---------------------------------------------------
+    def send(self, target: Any, message: Any) -> None:
+        self._engine._send(self.vertex_id, target, message)
+
+    def send_to_all(self, message: Any) -> None:
+        for target, _value in self.out_edges():
+            self._engine._send(self.vertex_id, target, message)
+
+    # -- control -----------------------------------------------------------
+    def vote_to_halt(self) -> None:
+        self._halted = True
+
+    # -- aggregators ---------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        self._engine.aggregators.aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """Reduced aggregator value from the previous superstep."""
+        return self._engine.aggregators.value(name)
+
+
+class VertexProgram:
+    """Base class for analytics (and for Ariadne's query vertex programs).
+
+    Subclasses implement :meth:`compute`; the other hooks have sensible
+    defaults. ``name`` is used in metrics and reports.
+    """
+
+    name = "vertex-program"
+
+    def compute(self, ctx: VertexContext, messages: Sequence[Any]) -> None:
+        raise NotImplementedError
+
+    def initial_value(self, vertex_id: Any, graph: Any) -> Any:
+        """Value every vertex starts with at superstep 0."""
+        return None
+
+    def combiner(self) -> Optional[Combiner]:
+        """Optional message combiner (only honored when config allows)."""
+        return None
+
+    def aggregators(self) -> Dict[str, Aggregator]:
+        """Aggregators to register for the run."""
+        return {}
+
+    def master_halt(self, aggregators: "Any", superstep: int) -> bool:
+        """Master-side convergence check evaluated at each barrier.
+
+        Returning True stops the run even if vertices are still active
+        (ALS uses this to stop when the global error is low enough).
+        """
+        return False
+
+
+class FunctionProgram(VertexProgram):
+    """Adapter turning a plain function into a :class:`VertexProgram`.
+
+    Useful in tests::
+
+        prog = FunctionProgram(lambda ctx, msgs: ctx.vote_to_halt())
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[VertexContext, Sequence[Any]], None],
+        initial: Any = None,
+        name: str = "function-program",
+    ) -> None:
+        if not callable(fn):
+            raise EngineError("FunctionProgram needs a callable")
+        self._fn = fn
+        self._initial = initial
+        self.name = name
+
+    def compute(self, ctx: VertexContext, messages: Sequence[Any]) -> None:
+        self._fn(ctx, messages)
+
+    def initial_value(self, vertex_id: Any, graph: Any) -> Any:
+        if callable(self._initial):
+            return self._initial(vertex_id, graph)
+        return self._initial

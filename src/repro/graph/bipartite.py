@@ -1,0 +1,90 @@
+"""Bipartite ratings graph used by the ALS recommender analytic.
+
+The paper represents MovieLens user-movie ratings as a bipartite graph where
+an edge between user *i* and movie *j* carries the rating *w*. The
+vertex-centric ALS implementation needs messages to flow both ways, so
+:func:`BipartiteGraph.to_digraph` materializes each rating as a pair of
+directed edges (user -> item and item -> user), both carrying the rating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+class BipartiteGraph:
+    """Users and items with weighted (rating) edges between the two sides.
+
+    Users and items are identified by disjoint integer id ranges:
+    users are ``0 .. num_users-1`` and items are
+    ``num_users .. num_users+num_items-1``, matching how VC systems load a
+    bipartite graph into a single vertex id space.
+    """
+
+    def __init__(self, num_users: int, num_items: int) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise GraphError("bipartite graph needs at least one user and item")
+        self.num_users = num_users
+        self.num_items = num_items
+        self._ratings: Dict[Tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def item_vertex(self, item: int) -> int:
+        """Vertex id of item ``item`` in the combined id space."""
+        return self.num_users + item
+
+    def is_user_vertex(self, vertex: int) -> bool:
+        return 0 <= vertex < self.num_users
+
+    def is_item_vertex(self, vertex: int) -> bool:
+        return self.num_users <= vertex < self.num_users + self.num_items
+
+    def add_rating(self, user: int, item: int, rating: float) -> None:
+        if not 0 <= user < self.num_users:
+            raise GraphError(f"user id {user} out of range")
+        if not 0 <= item < self.num_items:
+            raise GraphError(f"item id {item} out of range")
+        self._ratings[(user, item)] = float(rating)
+
+    @property
+    def num_ratings(self) -> int:
+        return len(self._ratings)
+
+    def ratings(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(user, item, rating)`` triples."""
+        for (user, item), rating in self._ratings.items():
+            yield user, item, rating
+
+    def rating(self, user: int, item: int) -> float:
+        try:
+            return self._ratings[(user, item)]
+        except KeyError:
+            raise GraphError(f"no rating for user {user}, item {item}") from None
+
+    def user_ratings(self, user: int) -> List[Tuple[int, float]]:
+        """All ``(item, rating)`` pairs of one user (linear scan; test helper)."""
+        return [(i, r) for (u, i), r in self._ratings.items() if u == user]
+
+    # ------------------------------------------------------------------
+    def to_digraph(self) -> DiGraph:
+        """Materialize as a :class:`DiGraph` with one directed edge per
+        direction per rating, both carrying the rating as edge value."""
+        g = DiGraph()
+        for user in range(self.num_users):
+            g.add_vertex(user)
+        for item in range(self.num_items):
+            g.add_vertex(self.item_vertex(item))
+        for user, item, rating in self.ratings():
+            iv = self.item_vertex(item)
+            g.add_edge(user, iv, rating)
+            g.add_edge(iv, user, rating)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"ratings={self.num_ratings})"
+        )

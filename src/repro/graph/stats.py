@@ -1,0 +1,140 @@
+"""Graph statistics used to report Table 2 dataset characteristics.
+
+The paper lists |V|, |E|, average degree and *average diameter* (average over
+sampled sources of the eccentricity / longest shortest path reached) for each
+dataset. Exact diameter is quadratic, so like most tooling we estimate it by
+BFS from a sample of sources, which is what "avg diameter" in the dataset
+collection the paper uses (LAW webgraphs) reports as well.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.digraph import DiGraph
+
+
+def bfs_levels(
+    g: DiGraph, source: Hashable, undirected: bool = True
+) -> Dict[Hashable, int]:
+    """Hop distance from ``source`` to every reachable vertex."""
+    dist: Dict[Hashable, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        d = dist[v] + 1
+        neighbors = g.out_neighbors(v)
+        if undirected:
+            neighbors = neighbors + g.in_neighbors(v)
+        for n in neighbors:
+            if n not in dist:
+                dist[n] = d
+                queue.append(n)
+    return dist
+
+
+def eccentricity(g: DiGraph, source: Hashable, undirected: bool = True) -> int:
+    """Longest hop distance reachable from ``source``."""
+    dist = bfs_levels(g, source, undirected=undirected)
+    return max(dist.values()) if dist else 0
+
+
+def estimate_average_diameter(
+    g: DiGraph, samples: int = 16, seed: int = 0, undirected: bool = True
+) -> float:
+    """Average eccentricity over a random sample of sources."""
+    vertices = list(g.vertices())
+    if not vertices:
+        return 0.0
+    rng = random.Random(seed)
+    k = min(samples, len(vertices))
+    sampled = rng.sample(vertices, k)
+    return sum(eccentricity(g, v, undirected=undirected) for v in sampled) / k
+
+
+def average_degree(g: DiGraph) -> float:
+    """|E| / |V| (the out-degree average, matching Table 2)."""
+    if g.num_vertices == 0:
+        return 0.0
+    return g.num_edges / g.num_vertices
+
+
+def degree_histogram(g: DiGraph, kind: str = "out") -> Dict[int, int]:
+    """Histogram degree -> vertex count. ``kind`` is 'out', 'in' or 'total'."""
+    hist: Dict[int, int] = {}
+    for v in g.vertices():
+        if kind == "out":
+            d = g.out_degree(v)
+        elif kind == "in":
+            d = g.in_degree(v)
+        else:
+            d = g.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def max_degree_vertex(g: DiGraph, kind: str = "total") -> Hashable:
+    """Vertex with the highest degree (Table 4 starts lineage capture here)."""
+    best = None
+    best_degree = -1
+    for v in g.vertices():
+        if kind == "out":
+            d = g.out_degree(v)
+        elif kind == "in":
+            d = g.in_degree(v)
+        else:
+            d = g.degree(v)
+        if d > best_degree:
+            best, best_degree = v, d
+    return best
+
+
+def weakly_connected_components(g: DiGraph) -> List[List[Hashable]]:
+    """Connected components ignoring direction (reference for WCC tests)."""
+    seen: set = set()
+    components: List[List[Hashable]] = []
+    for start in g.vertices():
+        if start in seen:
+            continue
+        component = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            component.append(v)
+            for n in g.out_neighbors(v) + g.in_neighbors(v):
+                if n not in seen:
+                    seen.add(n)
+                    queue.append(n)
+        components.append(component)
+    return components
+
+
+def single_source_shortest_paths(
+    g: DiGraph, source: Hashable
+) -> Dict[Hashable, float]:
+    """Dijkstra over edge values (reference oracle for the SSSP analytic).
+
+    Missing edge values default to weight 1.0.
+    """
+    import heapq
+
+    dist: Dict[Hashable, float] = {source: 0.0}
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, source)]
+    counter = 1
+    done: set = set()
+    while heap:
+        d, _, v = heapq.heappop(heap)
+        if v in done:
+            continue
+        done.add(v)
+        for target, value in g.out_edges(v):
+            w = 1.0 if value is None else float(value)
+            nd = d + w
+            if nd < dist.get(target, float("inf")):
+                dist[target] = nd
+                heapq.heappush(heap, (nd, counter, target))
+                counter += 1
+    return dist

@@ -1,0 +1,651 @@
+"""PQL evaluation core.
+
+Interprets the plans produced by :mod:`repro.pql.analysis` as left-deep
+nested-loop joins with binding propagation. The same core drives all three
+of the paper's evaluation methods — online, layered offline and naive
+offline — which differ only in
+
+* the *database view* they evaluate against (what "the partition at vertex
+  v" means and whether remote partitions are reachable),
+* the *binding mode* (anchored to a superstep, located at a vertex, or free),
+* the *driver loop* (per-superstep, per-layer, or global fixpoint).
+
+Derived tuples land in a :class:`TupleStore`, which maintains per-vertex
+partitions with both set semantics (Datalog) and insertion order (so the
+online runtime can ship deltas using per-neighbor watermarks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PQLError, PQLSemanticError
+from repro.pql.ast import Aggregate, BinOp, Const, FuncCall, Param, Term, Var
+from repro.pql.plan import (
+    ANY,
+    BIND,
+    CHECK_TERM,
+    CHECK_VAR,
+    CallStep,
+    CompareStep,
+    CompiledRule,
+    RulePlan,
+    ScanStep,
+)
+from repro.pql.udf import FunctionRegistry
+
+Row = Tuple[Any, ...]
+Env = Dict[str, Any]
+
+MODE_ANCHORED = "anchored"
+MODE_LOCATED = "located"
+MODE_FREE = "free"
+
+
+# ---------------------------------------------------------------------------
+# term evaluation
+# ---------------------------------------------------------------------------
+def eval_term(term: Term, env: Env, functions: FunctionRegistry) -> Any:
+    """Evaluate an expression term under a variable binding."""
+    if isinstance(term, Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise PQLError(
+                f"internal: variable {term.name} unbound at evaluation"
+            ) from None
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, BinOp):
+        left = eval_term(term.left, env, functions)
+        right = eval_term(term.right, env, functions)
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        if term.op == "/":
+            return left / right
+        raise PQLError(f"unknown operator {term.op!r}")
+    if isinstance(term, FuncCall):
+        fn = functions.get(term.name)
+        args = [eval_term(a, env, functions) for a in term.args]
+        return fn(*args)
+    if isinstance(term, Param):
+        raise PQLSemanticError(f"unbound parameter ${term.name}")
+    raise PQLError(f"cannot evaluate term {term!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise PQLError(f"unknown comparison {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# derived-tuple storage
+# ---------------------------------------------------------------------------
+class _Partition:
+    """One relation's tuples at one vertex: a set plus insertion order."""
+
+    __slots__ = ("rows", "order", "groups", "by_time")
+
+    def __init__(self) -> None:
+        self.rows: Set[Row] = set()
+        self.order: List[Row] = []
+        # For aggregate relations: group key -> current row.
+        self.groups: Optional[Dict[Row, Row]] = None
+        # Optional superstep index (populated via add_timed).
+        self.by_time: Optional[Dict[Any, List[Row]]] = None
+
+    def add(self, row: Row) -> bool:
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        self.order.append(row)
+        return True
+
+    def add_timed(self, row: Row, time: Any) -> bool:
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        self.order.append(row)
+        if self.by_time is None:
+            self.by_time = {}
+        bucket = self.by_time.get(time)
+        if bucket is None:
+            self.by_time[time] = [row]
+        else:
+            bucket.append(row)
+        return True
+
+    def prune_older_than(self, time: Any) -> int:
+        """Drop time-indexed rows with bucket time < ``time``.
+
+        Only valid for partitions populated exclusively via
+        :meth:`add_timed` that are never shipped (the insertion-order list
+        is rebuilt, so watermark-based delta shipping would break).
+        Returns the number of rows removed.
+        """
+        if self.by_time is None:
+            return 0
+        stale = [t for t in self.by_time if t < time]
+        removed = 0
+        for t in stale:
+            for row in self.by_time.pop(t):
+                self.rows.discard(row)
+                removed += 1
+        if removed:
+            self.order = [row for row in self.order if row in self.rows]
+        return removed
+
+    def set_group(self, key: Row, row: Row) -> bool:
+        if self.groups is None:
+            self.groups = {}
+        old = self.groups.get(key)
+        if old == row:
+            return False
+        if old is not None:
+            self.rows.discard(old)
+        self.groups[key] = row
+        self.rows.add(row)
+        self.order.append(row)
+        return True
+
+
+class TupleStore:
+    """Per-vertex partitioned relations (derived facts or transient EDBs)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[Any, _Partition]] = {}
+
+    def partition(self, relation: str, vertex: Any) -> Optional[_Partition]:
+        parts = self._data.get(relation)
+        return parts.get(vertex) if parts else None
+
+    def _ensure(self, relation: str, vertex: Any) -> _Partition:
+        parts = self._data.setdefault(relation, {})
+        part = parts.get(vertex)
+        if part is None:
+            part = _Partition()
+            parts[vertex] = part
+        return part
+
+    def add(self, relation: str, vertex: Any, row: Row) -> bool:
+        return self._ensure(relation, vertex).add(row)
+
+    def add_timed(self, relation: str, vertex: Any, row: Row, time: Any) -> bool:
+        """Insert and index by superstep for fast anchored scans."""
+        return self._ensure(relation, vertex).add_timed(row, time)
+
+    def set_group(self, relation: str, vertex: Any, key: Row, row: Row) -> bool:
+        return self._ensure(relation, vertex).set_group(key, row)
+
+    def rows(self, relation: str, vertex: Any) -> Set[Row]:
+        part = self.partition(relation, vertex)
+        return part.rows if part is not None else set()
+
+    def rows_at(self, relation: str, vertex: Any, time: Any) -> Iterable[Row]:
+        """Time-sliced read; falls back to the full partition when the
+        partition carries no superstep index."""
+        part = self.partition(relation, vertex)
+        if part is None:
+            return ()
+        if part.by_time is not None:
+            return part.by_time.get(time, ())
+        return part.rows
+
+    def all_rows(self, relation: str) -> Iterator[Row]:
+        parts = self._data.get(relation)
+        if not parts:
+            return
+        # Snapshot the partition list: free-mode scans of a relation being
+        # derived into must not observe concurrent structural changes.
+        for part in list(parts.values()):
+            yield from part.rows
+
+    def relations(self) -> List[str]:
+        return list(self._data)
+
+    def vertices(self, relation: str) -> Iterable[Any]:
+        return self._data.get(relation, {}).keys()
+
+    def num_rows(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return sum(len(p.rows) for p in self._data.get(relation, {}).values())
+        return sum(
+            len(p.rows)
+            for parts in self._data.values()
+            for p in parts.values()
+        )
+
+
+class Database:
+    """Interface the evaluator reads facts from and writes derivations to.
+
+    ``rows`` / ``rows_at`` / ``all_rows`` read; ``add`` / ``set_group``
+    write derived facts. Backends (online, offline, oracle) implement the
+    reads; by default writes go to an internal :class:`TupleStore`.
+    """
+
+    def __init__(self) -> None:
+        self.derived = TupleStore()
+
+    # -- reads (override) -------------------------------------------------
+    def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
+        raise NotImplementedError
+
+    def rows_at(self, relation: str, vertex: Any, time: Any) -> Iterable[Row]:
+        """Time-sliced read; default falls back to a full partition scan."""
+        return self.rows(relation, vertex)
+
+    def all_rows(self, relation: str) -> Iterable[Row]:
+        raise NotImplementedError
+
+    # -- writes ------------------------------------------------------------
+    def add(self, relation: str, row: Row) -> bool:
+        return self.derived.add(relation, row[0], row)
+
+    def set_group(self, relation: str, vertex: Any, key: Row, row: Row) -> bool:
+        return self.derived.set_group(relation, vertex, key, row)
+
+
+# ---------------------------------------------------------------------------
+# join execution
+# ---------------------------------------------------------------------------
+def _scan_rows(step: ScanStep, env: Env, db: Database,
+               functions: FunctionRegistry) -> Iterable[Row]:
+    """Rows of the partition(s) a scan step addresses under ``env``."""
+    op, payload = step.arg_ops[0]
+    if op == CHECK_VAR:
+        loc = env[payload]
+    elif op == CHECK_TERM:
+        loc = eval_term(payload, env, functions)
+    else:  # BIND / ANY: unlocated scan (setup / oracle mode only)
+        return db.all_rows(step.relation)
+    if step.time_bound and step.time_arg is not None:
+        t_op, t_payload = step.arg_ops[step.time_arg]
+        if t_op == CHECK_VAR:
+            t = env[t_payload]
+        else:
+            t = eval_term(t_payload, env, functions)
+        return db.rows_at(step.relation, loc, t)
+    return db.rows(step.relation, loc)
+
+
+def _match(step: ScanStep, row: Row, env: Env,
+           checks: Sequence[Tuple[int, Any]]) -> Optional[Env]:
+    """Match a row against a scan's arg ops; return the extended env."""
+    arg_ops = step.arg_ops
+    if len(row) != len(arg_ops):
+        return None
+    local: Optional[Env] = None
+    for pos, (op, payload) in enumerate(arg_ops):
+        if op == ANY:
+            continue
+        value = row[pos]
+        if op == BIND:
+            if local is None:
+                local = {}
+            existing = local.get(payload, _MISSING)
+            if existing is _MISSING:
+                local[payload] = value
+            elif existing != value:
+                return None
+        elif op == CHECK_VAR:
+            expected = (
+                local[payload]
+                if local is not None and payload in local
+                else env.get(payload, _MISSING)
+            )
+            if expected is _MISSING or expected != value:
+                return None
+        # CHECK_TERM handled via precomputed `checks`
+    for pos, expected in checks:
+        if row[pos] != expected:
+            return None
+    if local:
+        merged = dict(env)
+        merged.update(local)
+        return merged
+    return env
+
+
+_MISSING = object()
+
+
+def _term_checks(step: ScanStep, env: Env,
+                 functions: FunctionRegistry) -> List[Tuple[int, Any]]:
+    """Pre-evaluate CHECK_TERM positions once per scan invocation."""
+    checks: List[Tuple[int, Any]] = []
+    for pos, (op, payload) in enumerate(step.arg_ops):
+        if op == CHECK_TERM:
+            checks.append((pos, eval_term(payload, env, functions)))
+    return checks
+
+
+def _passes(filters: Sequence[Any], env: Env,
+            functions: FunctionRegistry) -> bool:
+    """Evaluate absorbed post-filter steps against a row's bindings."""
+    for step in filters:
+        if isinstance(step, CompareStep):
+            left = eval_term(step.left, env, functions)
+            right = eval_term(step.right, env, functions)
+            if not _compare(step.op, left, right):
+                return False
+        else:  # CallStep
+            fn = functions.get(step.func)
+            args = [eval_term(a, env, functions) for a in step.args]
+            if bool(fn(*args)) == step.negated:
+                return False
+    return True
+
+
+def _join(steps: Sequence[Any], index: int, env: Env, db: Database,
+          functions: FunctionRegistry) -> Iterator[Env]:
+    """Depth-first enumeration of all satisfying valuations."""
+    if index == len(steps):
+        yield env
+        return
+    step = steps[index]
+    if isinstance(step, ScanStep):
+        checks = _term_checks(step, env, functions)
+        if step.negated:
+            for row in _scan_rows(step, env, db, functions):
+                if _match(step, row, env, checks) is not None:
+                    return  # an anti-join witness exists: fail this branch
+            yield from _join(steps, index + 1, env, db, functions)
+        elif step.exists:
+            # semi-join: the scan's bindings are projected away, so the
+            # first row passing the absorbed filters settles the branch
+            for row in _scan_rows(step, env, db, functions):
+                extended = _match(step, row, env, checks)
+                if extended is not None and _passes(
+                    step.post_filters, extended, functions
+                ):
+                    yield from _join(steps, index + 1, env, db, functions)
+                    return
+        else:
+            for row in _scan_rows(step, env, db, functions):
+                extended = _match(step, row, env, checks)
+                if extended is not None:
+                    yield from _join(steps, index + 1, extended, db, functions)
+    elif isinstance(step, CompareStep):
+        if step.bind_var is not None:
+            expr = step.right if step.bind_from_left else step.left
+            value = eval_term(expr, env, functions)
+            extended = dict(env)
+            extended[step.bind_var] = value
+            yield from _join(steps, index + 1, extended, db, functions)
+        else:
+            left = eval_term(step.left, env, functions)
+            right = eval_term(step.right, env, functions)
+            if _compare(step.op, left, right):
+                yield from _join(steps, index + 1, env, db, functions)
+    elif isinstance(step, CallStep):
+        fn = functions.get(step.func)
+        args = [eval_term(a, env, functions) for a in step.args]
+        result = bool(fn(*args))
+        if result != step.negated:
+            yield from _join(steps, index + 1, env, db, functions)
+    else:  # pragma: no cover - plan construction guarantees step types
+        raise PQLError(f"unknown plan step {step!r}")
+
+
+def _select_plan(crule: CompiledRule, mode: str) -> RulePlan:
+    if mode == MODE_ANCHORED and crule.anchored_plan is not None:
+        return crule.anchored_plan
+    if mode == MODE_LOCATED and crule.located_plan is not None:
+        return crule.located_plan
+    return crule.free_plan
+
+
+def _initial_env(crule: CompiledRule, mode: str, site: Any,
+                 anchor_time: Optional[int]) -> Optional[Env]:
+    env: Env = {}
+    if mode in (MODE_ANCHORED, MODE_LOCATED):
+        if site is None:
+            raise PQLError("located evaluation requires a site")
+        env[crule.loc_var] = site
+    if mode == MODE_ANCHORED and crule.time_var is not None:
+        if anchor_time is None:
+            raise PQLError("anchored evaluation requires an anchor time")
+        env[crule.time_var] = anchor_time
+    return env
+
+
+# ---------------------------------------------------------------------------
+# rule evaluation
+# ---------------------------------------------------------------------------
+def evaluate_rule(
+    crule: CompiledRule,
+    mode: str,
+    db: Database,
+    functions: FunctionRegistry,
+    site: Any = None,
+    anchor_time: Optional[int] = None,
+) -> int:
+    """Evaluate one rule at one site; returns the number of new facts."""
+    plan = _select_plan(crule, mode)
+    env = _initial_env(crule, mode, site, anchor_time)
+    if crule.is_aggregate:
+        return _evaluate_aggregate(crule, plan, env, db, functions)
+    head_args = crule.head_args
+    pred = crule.head_predicate
+    # Materialize before inserting: a recursive rule may scan the very
+    # relation it derives into (evaluation is snapshot-per-step; the
+    # enclosing fixpoint loop picks up the new facts next round).
+    try:
+        rows = [
+            tuple(eval_term(arg, solution, functions) for arg in head_args)
+            for solution in _join(plan.steps, 0, env, db, functions)
+        ]
+    except PQLError:
+        raise
+    except Exception as exc:
+        raise PQLError(
+            f"error evaluating rule at site {site!r}: {crule.rule} "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    new = 0
+    for row in rows:
+        if db.add(pred, row):
+            new += 1
+    return new
+
+
+_AGG_INIT: Dict[str, Any] = {"count": 0, "sum": 0, "min": None, "max": None, "avg": None}
+
+
+def _evaluate_aggregate(
+    crule: CompiledRule,
+    plan: RulePlan,
+    env: Env,
+    db: Database,
+    functions: FunctionRegistry,
+) -> int:
+    """Aggregate rule: collect distinct witnesses, group, reduce, replace.
+
+    Aggregates use replacement semantics per group (recomputed from the
+    current database on every evaluation); stratification guarantees the
+    aggregated relations are complete when this runs within one evaluation
+    round.
+    """
+    head_args = crule.head_args
+    agg_positions = [
+        i for i, a in enumerate(head_args) if isinstance(a, Aggregate)
+    ]
+    group_positions = [
+        i for i, a in enumerate(head_args) if not isinstance(a, Aggregate)
+    ]
+    body_vars = crule.body_vars
+    seen: Set[Row] = set()
+    # group key -> per-aggregate accumulators [(count, sum, min, max), ...]
+    groups: Dict[Row, List[List[Any]]] = {}
+    for solution in _join(plan.steps, 0, env, db, functions):
+        witness = tuple(solution.get(v) for v in body_vars)
+        if witness in seen:
+            continue
+        seen.add(witness)
+        key = tuple(
+            eval_term(head_args[i], solution, functions) for i in group_positions
+        )
+        accs = groups.get(key)
+        if accs is None:
+            accs = [[0, 0, None, None] for _ in agg_positions]
+            groups[key] = accs
+        for acc, pos in zip(accs, agg_positions):
+            agg: Aggregate = head_args[pos]  # type: ignore[assignment]
+            value = eval_term(agg.term, solution, functions)
+            acc[0] += 1
+            if agg.func in ("sum", "avg"):
+                acc[1] += value
+            if acc[2] is None or value < acc[2]:
+                acc[2] = value
+            if acc[3] is None or value > acc[3]:
+                acc[3] = value
+    changed = 0
+    for key, accs in groups.items():
+        row_values: List[Any] = []
+        key_iter = iter(key)
+        acc_iter = iter(zip(accs, agg_positions))
+        for i, arg in enumerate(head_args):
+            if isinstance(arg, Aggregate):
+                acc, _pos = next(acc_iter)
+                if arg.func == "count":
+                    row_values.append(acc[0])
+                elif arg.func == "sum":
+                    row_values.append(acc[1])
+                elif arg.func == "min":
+                    row_values.append(acc[2])
+                elif arg.func == "max":
+                    row_values.append(acc[3])
+                else:  # avg
+                    row_values.append(acc[1] / acc[0] if acc[0] else None)
+            else:
+                row_values.append(next(key_iter))
+        row = tuple(row_values)
+        if db.set_group(crule.head_predicate, row[0], key, row):
+            changed += 1
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# stratum driver
+# ---------------------------------------------------------------------------
+PreparedStrata = List[Tuple[List[CompiledRule], bool]]
+
+
+def prepare_strata(
+    strata: Sequence[Sequence[CompiledRule]],
+) -> PreparedStrata:
+    """Precompute, per stratum, whether fixpoint iteration is needed.
+
+    Two cases avoid the repeat-until-stable loop entirely:
+
+    * no rule reads a relation defined in the same stratum, or
+    * the intra-stratum dependencies are *acyclic* — then evaluating the
+      rules in topological order makes a single pass complete (each rule's
+      same-stratum inputs are final by the time it runs).
+
+    Only genuinely recursive strata (a dependency cycle, e.g. transitive
+    closure) keep the fixpoint loop. Callers that drive evaluation per
+    vertex per superstep (the online runtime) prepare once and reuse.
+    """
+    prepared: PreparedStrata = []
+    for stratum in strata:
+        if not stratum:
+            continue
+        heads = {crule.head_predicate for crule in stratum}
+        # predicate-level dependency edges within the stratum
+        deps: Dict[str, Set[str]] = {h: set() for h in heads}
+        for crule in stratum:
+            for rel in crule.body_relations:
+                if rel in heads:
+                    deps[crule.head_predicate].add(rel)
+        order = _topological(deps)
+        if order is None:
+            prepared.append((list(stratum), True))
+        else:
+            rank = {pred: i for i, pred in enumerate(order)}
+            ordered = sorted(
+                stratum, key=lambda c: (rank[c.head_predicate], c.index)
+            )
+            prepared.append((ordered, False))
+    return prepared
+
+
+def _topological(deps: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """Kahn's algorithm; returns None when the graph has a cycle
+    (including self-loops, i.e. genuine recursion)."""
+    indegree = {node: len(edges) for node, edges in deps.items()}
+    dependents: Dict[str, List[str]] = {node: [] for node in deps}
+    for node, edges in deps.items():
+        for dep in edges:
+            dependents[dep].append(node)
+    ready = sorted(node for node, count in indegree.items() if count == 0)
+    order: List[str] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for dependent in sorted(dependents[node]):
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    return order if len(order) == len(deps) else None
+
+
+def run_prepared(
+    prepared: PreparedStrata,
+    mode: str,
+    db: Database,
+    functions: FunctionRegistry,
+    sites: Sequence[Any],
+    anchor_time: Optional[int] = None,
+) -> int:
+    """Evaluate prepared strata in order, each to fixpoint over ``sites``."""
+    total = 0
+    for stratum, recursive in prepared:
+        while True:
+            new = 0
+            for crule in stratum:
+                for site in sites:
+                    new += evaluate_rule(
+                        crule, mode, db, functions, site, anchor_time
+                    )
+            total += new
+            if new == 0 or not recursive:
+                break
+    return total
+
+
+def run_strata(
+    strata: Sequence[Sequence[CompiledRule]],
+    mode: str,
+    db: Database,
+    functions: FunctionRegistry,
+    sites: Iterable[Any],
+    anchor_time: Optional[int] = None,
+) -> int:
+    """Evaluate strata in order, each to fixpoint over ``sites``.
+
+    Returns the total number of new derivations. ``sites`` may be ``[None]``
+    for free-mode (centralized) evaluation.
+    """
+    return run_prepared(
+        prepare_strata(strata), mode, db, functions, list(sites), anchor_time
+    )

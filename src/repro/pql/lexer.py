@@ -1,0 +1,180 @@
+"""Tokenizer for PQL.
+
+Token kinds:
+
+* ``VAR`` — identifiers starting with an uppercase letter or underscore
+  (Datalog variables; ``_`` alone is the anonymous variable),
+* ``IDENT`` — identifiers starting lowercase (predicate / function names),
+* ``NUMBER`` — integer or float literals,
+* ``STRING`` — single- or double-quoted,
+* ``PARAM`` — ``$name`` placeholders,
+* punctuation and operators: ``( ) , . :- ! = == != < <= > >= + - * /``.
+
+Comments run from ``%`` or ``#`` or ``//`` to end of line (all three styles
+appear in the Datalog literature; accepting them costs nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import PQLSyntaxError
+
+# token kinds
+VAR = "VAR"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PARAM = "PARAM"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = (":-", "==", "!=", "<=", ">=", "<>")
+_ONE_CHAR = "(),.!=<>+-*/"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, appending a trailing EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def error(msg: str) -> PQLSyntaxError:
+        return PQLSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if ch in "%#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        # two-char operators
+        two = source[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            kind = OP if two != ":-" else PUNCT
+            text = "!=" if two == "<>" else two
+            tokens.append(Token(kind, text, line, start_col))
+            i += 2
+            col += 2
+            continue
+        # strings
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            text = "".join(buf)
+            tokens.append(Token(STRING, text, line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # numbers
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # "1." followed by a rule terminator is ambiguous;
+                    # require a digit after the dot.
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and j > i:
+                    nxt = source[j + 1 : j + 2]
+                    if nxt.isdigit() or nxt in "+-":
+                        seen_exp = True
+                        seen_dot = True
+                        j += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            tokens.append(Token(NUMBER, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        # parameters
+        if ch == "$":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise error("'$' must be followed by a parameter name")
+            tokens.append(Token(PARAM, source[i + 1 : j], line, start_col))
+            col += j - i
+            i = j
+            continue
+        # identifiers / variables / keyword `not`
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            if text == "not":
+                tokens.append(Token(OP, "!", line, start_col))
+            elif text == "true" or text == "false":
+                tokens.append(Token(IDENT, text, line, start_col))
+            elif ch.isupper() or ch == "_":
+                tokens.append(Token(VAR, text, line, start_col))
+            else:
+                tokens.append(Token(IDENT, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        # single-char punctuation / operators
+        if ch in _ONE_CHAR:
+            kind = PUNCT if ch in "(),." else OP
+            tokens.append(Token(kind, ch, line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

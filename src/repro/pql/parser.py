@@ -1,0 +1,239 @@
+"""Recursive-descent parser for PQL.
+
+Grammar (EBNF)::
+
+    program    = { rule } ;
+    rule       = atom [ ":-" literal { "," literal } ] "." ;
+    literal    = [ "!" ] atom
+               | expr cmp-op expr ;
+    atom       = IDENT "(" head-term { "," head-term } ")" ;
+    head-term  = AGG "(" expr ")"        (* heads only *)
+               | expr ;
+    expr       = add-expr ;
+    add-expr   = mul-expr { ("+" | "-") mul-expr } ;
+    mul-expr   = unary { ("*" | "/") unary } ;
+    unary      = "-" unary | primary ;
+    primary    = NUMBER | STRING | VAR | PARAM
+               | IDENT "(" expr { "," expr } ")"   (* function call *)
+               | IDENT                              (* symbol constant *)
+               | "(" expr ")" ;
+
+The parser cannot distinguish a relational atom from a boolean function call
+(``udf_diff(D1, D2, $eps)``) — both are ``IDENT(args)``. It parses every
+such literal as an atom; semantic analysis rewrites atoms whose name refers
+to a registered function into :class:`~repro.pql.ast.BoolCall` literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import PQLSyntaxError
+from repro.pql import lexer
+from repro.pql.ast import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    Atom,
+    AtomLiteral,
+    BinOp,
+    Comparison,
+    Const,
+    FuncCall,
+    HeadTerm,
+    Literal,
+    Param,
+    Program,
+    Rule,
+    Term,
+    Var,
+)
+from repro.pql.lexer import EOF, IDENT, NUMBER, OP, PARAM, PUNCT, STRING, VAR, Token
+
+_CMP_OPS = {"=", "==", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = lexer.tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def error(self, message: str) -> PQLSyntaxError:
+        tok = self.current
+        return PQLSyntaxError(
+            f"{message} (found {tok.kind} {tok.text!r})", tok.line, tok.column
+        )
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.current
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise self.error(f"expected {want!r}")
+        return tok
+
+    # -- grammar ---------------------------------------------------------
+    def parse_program(self) -> Program:
+        rules: List[Rule] = []
+        while self.current.kind != EOF:
+            rules.append(self.parse_rule())
+        return Program(tuple(rules), source=self.source)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom(allow_aggregates=True)
+        body: List[Literal] = []
+        if self.accept(PUNCT, ":-"):
+            body.append(self.parse_literal())
+            while self.accept(PUNCT, ","):
+                body.append(self.parse_literal())
+        self.expect(PUNCT, ".")
+        return Rule(head, tuple(body))
+
+    def parse_literal(self) -> Literal:
+        if self.accept(OP, "!"):
+            atom = self.parse_atom(allow_aggregates=False)
+            return AtomLiteral(atom, negated=True)
+        left = self.parse_expr()
+        op_tok = self.current
+        if op_tok.kind == OP and op_tok.text in _CMP_OPS:
+            self.advance()
+            right = self.parse_expr()
+            op = "==" if op_tok.text == "=" else op_tok.text
+            # `=` / `==` are the same predicate (the paper uses both).
+            return Comparison("=" if op == "==" else op, left, right)
+        # Not a comparison: must be a relational atom (or boolean call,
+        # resolved during analysis).
+        if isinstance(left, FuncCall):
+            for arg in left.args:
+                if isinstance(arg, FuncCall) and arg.name in AGGREGATE_FUNCS:
+                    raise self.error(
+                        f"aggregate {arg.name!r} is only allowed in rule heads"
+                    )
+            return AtomLiteral(Atom(left.name, left.args), negated=False)
+        raise self.error("expected a comparison operator or an atom")
+
+    def parse_atom(self, allow_aggregates: bool) -> Atom:
+        name = self.expect(IDENT).text
+        self.expect(PUNCT, "(")
+        args: List[HeadTerm] = [self.parse_head_term(allow_aggregates)]
+        while self.accept(PUNCT, ","):
+            args.append(self.parse_head_term(allow_aggregates))
+        self.expect(PUNCT, ")")
+        return Atom(name, tuple(args))
+
+    def parse_head_term(self, allow_aggregates: bool) -> HeadTerm:
+        term = self.parse_expr()
+        if (
+            isinstance(term, FuncCall)
+            and term.name in AGGREGATE_FUNCS
+        ):
+            if not allow_aggregates:
+                raise self.error(
+                    f"aggregate {term.name!r} is only allowed in rule heads"
+                )
+            if len(term.args) != 1:
+                raise self.error(
+                    f"aggregate {term.name!r} takes exactly one argument"
+                )
+            return Aggregate(term.name, term.args[0])
+        return term
+
+    # -- expressions -------------------------------------------------------
+    def parse_expr(self) -> Term:
+        return self.parse_addsub()
+
+    def parse_addsub(self) -> Term:
+        left = self.parse_muldiv()
+        while True:
+            tok = self.current
+            if tok.kind == OP and tok.text in ("+", "-"):
+                self.advance()
+                right = self.parse_muldiv()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def parse_muldiv(self) -> Term:
+        left = self.parse_unary()
+        while True:
+            tok = self.current
+            if tok.kind == OP and tok.text in ("*", "/"):
+                self.advance()
+                right = self.parse_unary()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> Term:
+        if self.accept(OP, "-"):
+            inner = self.parse_unary()
+            if isinstance(inner, Const) and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return BinOp("-", Const(0), inner)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Term:
+        tok = self.current
+        if tok.kind == NUMBER:
+            self.advance()
+            text = tok.text
+            if "." in text or "e" in text or "E" in text:
+                return Const(float(text))
+            return Const(int(text))
+        if tok.kind == STRING:
+            self.advance()
+            return Const(tok.text)
+        if tok.kind == VAR:
+            self.advance()
+            return Var(tok.text)
+        if tok.kind == PARAM:
+            self.advance()
+            return Param(tok.text)
+        if tok.kind == IDENT:
+            self.advance()
+            if self.accept(PUNCT, "("):
+                args: List[Term] = [self.parse_expr()]
+                while self.accept(PUNCT, ","):
+                    args.append(self.parse_expr())
+                self.expect(PUNCT, ")")
+                return FuncCall(tok.text, tuple(args))
+            if tok.text == "true":
+                return Const(True)
+            if tok.text == "false":
+                return Const(False)
+            return Const(tok.text)  # bare lowercase identifier = symbol
+        if self.accept(PUNCT, "("):
+            inner = self.parse_expr()
+            self.expect(PUNCT, ")")
+            return inner
+        raise self.error("expected a term")
+
+
+def parse(source: str) -> Program:
+    """Parse PQL source text into a :class:`~repro.pql.ast.Program`."""
+    return _Parser(source).parse_program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (convenience for tests)."""
+    program = parse(source)
+    if len(program.rules) != 1:
+        raise PQLSyntaxError(
+            f"expected exactly one rule, got {len(program.rules)}"
+        )
+    return program.rules[0]

@@ -1,0 +1,346 @@
+"""A standalone semi-naive Datalog evaluator.
+
+This module is deliberately *independent* of the plan-based evaluator in
+:mod:`repro.pql.eval`: it interprets rule ASTs directly, centrally (no
+location semantics — the location specifier is just the first attribute),
+with textbook stratified semi-naive iteration (Bancilhon & Ramakrishnan,
+the paper's [4]): each iteration joins the previous iteration's *delta*
+facts at one body occurrence at a time, so stable facts are never re-joined.
+
+It serves two purposes:
+
+* a second implementation for differential testing — the distributed
+  online/layered/naive evaluators must agree with it on every query;
+* the baseline for the semi-naive-vs-naive ablation benchmark.
+
+Supported: positive/negated atoms, comparisons (with `=` binding),
+boolean function calls, anonymous variables, non-recursive aggregates —
+the same fragment the main compiler accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PQLSemanticError
+from repro.pql.analysis import _stratify  # shared stratification
+from repro.pql.ast import (
+    Aggregate,
+    Atom,
+    AtomLiteral,
+    BoolCall,
+    Comparison,
+    FuncCall,
+    Literal,
+    Program,
+    Rule,
+    Var,
+)
+from repro.pql.eval import _compare, eval_term
+from repro.pql.udf import FunctionRegistry
+
+Row = Tuple[Any, ...]
+Facts = Dict[str, Set[Row]]
+Env = Dict[str, Any]
+
+ANONYMOUS = "_"
+
+
+def _match_atom(atom: Atom, row: Row, env: Env,
+                functions: FunctionRegistry) -> Optional[Env]:
+    if len(row) != atom.arity:
+        return None
+    out = env
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Var):
+            if term.name == ANONYMOUS:
+                continue
+            bound = out.get(term.name, _MISSING)
+            if bound is _MISSING:
+                if out is env:
+                    out = dict(env)
+                out[term.name] = value
+            elif bound != value:
+                return None
+        else:
+            try:
+                if eval_term(term, out, functions) != value:
+                    return None
+            except Exception:
+                return None
+    return out
+
+
+_MISSING = object()
+
+
+def _literal_ready(lit: Literal, env: Env) -> bool:
+    """Can this literal be evaluated as a filter under ``env``?"""
+    if isinstance(lit, AtomLiteral) and not lit.negated:
+        return True  # positive atoms always evaluable (they bind)
+    names = {v.name for v in lit.variables() if v.name != ANONYMOUS}
+    if isinstance(lit, Comparison) and lit.op == "=":
+        # may bind one side
+        for side, other in ((lit.left, lit.right), (lit.right, lit.left)):
+            if isinstance(side, Var) and side.name not in env:
+                other_names = {
+                    v.name for v in _term_var_names(other)
+                }
+                if other_names <= set(env):
+                    return True
+    return names <= set(env)
+
+
+def _term_var_names(term) -> Iterator[Var]:
+    from repro.pql.ast import term_vars
+
+    return term_vars(term)
+
+
+def _solutions(
+    body: Sequence[Literal],
+    env: Env,
+    facts: Facts,
+    functions: FunctionRegistry,
+    delta_at: Optional[int],
+    delta: Optional[Facts],
+) -> Iterator[Env]:
+    """All satisfying valuations; literal at index ``delta_at`` (if any)
+    reads the delta relation instead of the full one."""
+    if not body:
+        yield env
+        return
+    # choose the next evaluable literal: prefer ready filters, else the
+    # first positive atom
+    index = None
+    for i, lit in enumerate(body):
+        if isinstance(lit, (Comparison, BoolCall)) or (
+            isinstance(lit, AtomLiteral) and lit.negated
+        ):
+            if _literal_ready(lit, env):
+                index = i
+                break
+    if index is None:
+        for i, lit in enumerate(body):
+            if isinstance(lit, AtomLiteral) and not lit.negated:
+                index = i
+                break
+    if index is None:
+        raise PQLSemanticError(f"cannot order body literals: {body}")
+    lit = body[index]
+    rest = list(body[:index]) + list(body[index + 1:])
+    # shift the delta marker to follow its literal
+    rest_delta: Optional[int] = None
+    if delta_at is not None and delta_at != index:
+        rest_delta = delta_at - 1 if delta_at > index else delta_at
+
+    if isinstance(lit, AtomLiteral):
+        source = facts
+        if delta_at == index and delta is not None:
+            source = delta
+        rows = source.get(lit.atom.predicate, set())
+        if lit.negated:
+            for row in facts.get(lit.atom.predicate, set()):
+                if _match_atom(lit.atom, row, env, functions) is not None:
+                    return
+            yield from _solutions(rest, env, facts, functions,
+                                  rest_delta, delta)
+        else:
+            for row in rows:
+                extended = _match_atom(lit.atom, row, env, functions)
+                if extended is not None:
+                    yield from _solutions(rest, extended, facts, functions,
+                                          rest_delta, delta)
+    elif isinstance(lit, Comparison):
+        if lit.op == "=":
+            for side, other in ((lit.left, lit.right), (lit.right, lit.left)):
+                if isinstance(side, Var) and side.name not in env and \
+                        side.name != ANONYMOUS:
+                    names = {v.name for v in _term_var_names(other)
+                             if v.name != ANONYMOUS}
+                    if names <= set(env):
+                        extended = dict(env)
+                        extended[side.name] = eval_term(other, env, functions)
+                        yield from _solutions(rest, extended, facts,
+                                              functions, rest_delta, delta)
+                        return
+        left = eval_term(lit.left, env, functions)
+        right = eval_term(lit.right, env, functions)
+        if _compare(lit.op, left, right):
+            yield from _solutions(rest, env, facts, functions,
+                                  rest_delta, delta)
+    else:  # BoolCall
+        fn = functions.get(lit.call.name)
+        args = [eval_term(a, env, functions) for a in lit.call.args]
+        if bool(fn(*args)) != lit.negated:
+            yield from _solutions(rest, env, facts, functions,
+                                  rest_delta, delta)
+
+
+def _derive(
+    rule: Rule,
+    facts: Facts,
+    functions: FunctionRegistry,
+    delta_at: Optional[int] = None,
+    delta: Optional[Facts] = None,
+) -> Set[Row]:
+    out: Set[Row] = set()
+    if rule.head.has_aggregates():
+        out |= _derive_aggregate(rule, facts, functions)
+        return out
+    for env in _solutions(list(rule.body), {}, facts, functions,
+                          delta_at, delta):
+        out.add(tuple(eval_term(a, env, functions) for a in rule.head.args))
+    return out
+
+
+def _derive_aggregate(rule: Rule, facts: Facts,
+                      functions: FunctionRegistry) -> Set[Row]:
+    body_vars = sorted({
+        v.name for v in rule.variables() if v.name != ANONYMOUS
+    })
+    seen: Set[Row] = set()
+    groups: Dict[Row, List[List[Any]]] = {}
+    agg_args = [a for a in rule.head.args if isinstance(a, Aggregate)]
+    group_args = [a for a in rule.head.args if not isinstance(a, Aggregate)]
+    for env in _solutions(list(rule.body), {}, facts, functions, None, None):
+        witness = tuple(env.get(v) for v in body_vars)
+        if witness in seen:
+            continue
+        seen.add(witness)
+        key = tuple(eval_term(a, env, functions) for a in group_args)
+        accs = groups.setdefault(
+            key, [[0, 0, None, None] for _ in agg_args]
+        )
+        for acc, agg in zip(accs, agg_args):
+            value = eval_term(agg.term, env, functions)
+            acc[0] += 1
+            if agg.func in ("sum", "avg"):
+                acc[1] += value
+            if acc[2] is None or value < acc[2]:
+                acc[2] = value
+            if acc[3] is None or value > acc[3]:
+                acc[3] = value
+    rows: Set[Row] = set()
+    for key, accs in groups.items():
+        key_iter = iter(key)
+        acc_iter = iter(zip(accs, agg_args))
+        values: List[Any] = []
+        for arg in rule.head.args:
+            if isinstance(arg, Aggregate):
+                acc, agg = next(acc_iter)
+                values.append({
+                    "count": acc[0],
+                    "sum": acc[1],
+                    "min": acc[2],
+                    "max": acc[3],
+                    "avg": (acc[1] / acc[0]) if acc[0] else None,
+                }[agg.func])
+            else:
+                values.append(next(key_iter))
+        rows.add(tuple(values))
+    return rows
+
+
+def _resolve_functions(
+    program: Program, relations: Set[str], functions: FunctionRegistry
+) -> Program:
+    """Atoms naming registered functions become boolean-call literals
+    (mirrors the main compiler's resolution step)."""
+
+    def resolve(lit: Literal) -> Literal:
+        if (
+            isinstance(lit, AtomLiteral)
+            and lit.atom.predicate not in relations
+            and lit.atom.predicate in functions
+        ):
+            return BoolCall(
+                FuncCall(lit.atom.predicate, lit.atom.args), lit.negated
+            )
+        return lit
+
+    return Program(
+        tuple(
+            Rule(rule.head, tuple(resolve(l) for l in rule.body))
+            for rule in program.rules
+        ),
+        source=program.source,
+    )
+
+
+def evaluate_seminaive(
+    program: Program,
+    edb: Dict[str, Iterable[Row]],
+    functions: Optional[FunctionRegistry] = None,
+    naive: bool = False,
+) -> Facts:
+    """Evaluate a bound PQL program over plain fact sets.
+
+    ``edb`` maps relation names to rows. Returns all facts (EDB + derived).
+    With ``naive=True`` the delta optimization is disabled (every iteration
+    re-derives from scratch) — the ablation baseline.
+    """
+    functions = functions or FunctionRegistry()
+    facts: Facts = {rel: set(rows) for rel, rows in edb.items()}
+    head_preds = {rule.head.predicate for rule in program.rules}
+    program = _resolve_functions(program, set(facts) | head_preds, functions)
+    strata_of = _stratify(program, head_preds)
+    max_stratum = max(strata_of.values(), default=0)
+
+    for level in range(max_stratum + 1):
+        rules = [
+            r for r in program.rules if strata_of[r.head.predicate] == level
+        ]
+        if not rules:
+            continue
+        recursive_preds = {
+            r.head.predicate for r in rules
+        }
+        # initial round: full naive derivation of this stratum
+        delta: Facts = {}
+        for rule in rules:
+            new = _derive(rule, facts, functions)
+            known = facts.setdefault(rule.head.predicate, set())
+            fresh = new - known
+            known |= fresh
+            delta.setdefault(rule.head.predicate, set()).update(fresh)
+        # iterate
+        while any(delta.values()):
+            next_delta: Facts = {}
+            for rule in rules:
+                body = list(rule.body)
+                if naive:
+                    candidate_rows = _derive(rule, facts, functions)
+                else:
+                    candidate_rows = set()
+                    for i, lit in enumerate(body):
+                        if (
+                            isinstance(lit, AtomLiteral)
+                            and not lit.negated
+                            and lit.atom.predicate in recursive_preds
+                        ):
+                            candidate_rows |= _derive(
+                                rule, facts, functions, delta_at=i,
+                                delta=delta,
+                            )
+                known = facts.setdefault(rule.head.predicate, set())
+                fresh = candidate_rows - known
+                known |= fresh
+                if fresh:
+                    next_delta.setdefault(
+                        rule.head.predicate, set()
+                    ).update(fresh)
+            delta = next_delta
+    return facts
+
+
+def store_to_facts(store: Any, graph: Any = None) -> Dict[str, Set[Row]]:
+    """Flatten a provenance store (plus optional input graph) into the
+    plain fact sets this evaluator consumes."""
+    facts: Dict[str, Set[Row]] = {
+        relation: set(store.rows(relation)) for relation in store.relations()
+    }
+    if graph is not None:
+        facts["vertex"] = {(v,) for v in graph.vertices()}
+        facts["edge"] = {(u, v) for u, v, _w in graph.edges()}
+    return facts

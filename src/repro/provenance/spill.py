@@ -1,0 +1,198 @@
+"""Layer spilling — the stand-in for Ariadne's asynchronous HDFS offload.
+
+When the captured provenance graph exceeds available memory the paper's
+prototype offloads it to HDFS, and layered offline evaluation later streams
+it back one layer at a time. :class:`SpillManager` reproduces the mechanism
+on the local filesystem: sealed layers are pickled into per-superstep slab
+files (plus a static slab for time-less relations and schemas), and the
+offline runtimes stream them back — one layer at a time for layered
+evaluation, all at once for naive (see
+``repro.runtime.offline.run_layered_from_spill`` / ``run_naive_from_spill``,
+whose memory budgets reproduce the paper's observation that naive
+whole-graph loading fails where layered evaluation proceeds).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Set
+
+from repro.errors import ProvenanceError
+from repro.provenance.store import ProvenanceStore, Row
+
+
+class SpillManager:
+    """Seals completed provenance layers out of memory into slab files."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        directory: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self._own_dir = directory is None
+        self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
+        os.makedirs(self.directory, exist_ok=True)
+        self.memory_budget_bytes = memory_budget_bytes
+        self._slabs: Dict[int, str] = {}
+        self.bytes_spilled = 0
+
+    @classmethod
+    def open(cls, directory: str) -> "SpillManager":
+        """Re-attach to a directory sealed by a previous process (the CLI's
+        persistent store format). The returned manager can load layers and
+        rebuild stores but is not meant for further sealing."""
+        manager = cls(ProvenanceStore(), directory=directory)
+        static = os.path.join(directory, "static.slab")
+        if not os.path.exists(static):
+            raise ProvenanceError(
+                f"{directory} does not contain a sealed provenance store"
+            )
+        manager._static_path = static
+        for name in sorted(os.listdir(directory)):
+            if name.startswith("layer-") and name.endswith(".slab"):
+                superstep = int(name[len("layer-"):-len(".slab")])
+                manager._slabs[superstep] = os.path.join(directory, name)
+        return manager
+
+    def slab_path(self, superstep: int) -> str:
+        return os.path.join(self.directory, f"layer-{superstep:06d}.slab")
+
+    def seal_layer(self, superstep: int) -> int:
+        """Write one layer to disk; returns the slab's byte size.
+
+        The in-memory store keeps the layer (evicting would complicate the
+        store's indexes); what the budget models is the *capture path*: how
+        many bytes had to be moved to storage.
+        """
+        layer = self.store.layer(superstep)
+        path = self.slab_path(superstep)
+        with open(path, "wb") as fh:
+            pickle.dump(layer, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        size = os.path.getsize(path)
+        self._slabs[superstep] = path
+        self.bytes_spilled += size
+        return size
+
+    def seal_static(self) -> int:
+        """Write the time-less relations (e.g. Query 11's prov_edges) plus
+        the relation schemas to a static slab."""
+        static: Dict[str, Dict[Any, Set[Row]]] = {}
+        registry = self.store.registry
+        for relation in self.store.relations():
+            schema = registry.get(relation)
+            if schema.time_index is not None:
+                continue
+            by_vertex: Dict[Any, Set[Row]] = {}
+            for vertex in self.store.vertices(relation):
+                rows = self.store.partition(relation, vertex)
+                if rows:
+                    by_vertex[vertex] = set(rows)
+            if by_vertex:
+                static[relation] = by_vertex
+        schemas = {name: registry.get(name) for name in self.store.relations()}
+        path = os.path.join(self.directory, "static.slab")
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"relations": static, "schemas": schemas, "num_layers": self.store.num_layers},
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        size = os.path.getsize(path)
+        self._static_path = path
+        self.bytes_spilled += size
+        return size
+
+    def seal_all(self) -> int:
+        """Seal the static slab and every layer; returns total bytes."""
+        total = self.seal_static()
+        for superstep in range(self.store.num_layers):
+            total += self.seal_layer(superstep)
+        return total
+
+    def load_static(self) -> Dict[str, Any]:
+        path = getattr(self, "_static_path", None)
+        if path is None:
+            raise ProvenanceError("static slab was never sealed")
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    def sealed_layers(self) -> Iterator[int]:
+        return iter(sorted(self._slabs))
+
+    def load_layer(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
+        path = self._slabs.get(superstep)
+        if path is None:
+            raise ProvenanceError(f"layer {superstep} was never sealed")
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    def layer_size(self, superstep: int) -> int:
+        """On-disk bytes of one sealed layer slab."""
+        path = self._slabs.get(superstep)
+        if path is None:
+            raise ProvenanceError(f"layer {superstep} was never sealed")
+        return os.path.getsize(path)
+
+    def total_sealed_bytes(self) -> int:
+        """On-disk bytes of every sealed slab (static + layers)."""
+        total = 0
+        static = getattr(self, "_static_path", None)
+        if static is not None:
+            total += os.path.getsize(static)
+        for path in self._slabs.values():
+            total += os.path.getsize(path)
+        return total
+
+    def over_budget(self) -> bool:
+        return (
+            self.memory_budget_bytes is not None
+            and self.store.total_bytes() > self.memory_budget_bytes
+        )
+
+    def close(self) -> None:
+        paths = list(self._slabs.values())
+        static = getattr(self, "_static_path", None)
+        if static is not None:
+            paths.append(static)
+        for path in paths:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best effort cleanup
+                pass
+        self._slabs.clear()
+        if self._own_dir:
+            try:
+                os.rmdir(self.directory)
+            except OSError:  # pragma: no cover - best effort cleanup
+                pass
+
+    def __enter__(self) -> "SpillManager":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def rebuild_store(spill: SpillManager) -> ProvenanceStore:
+    """Deserialize every slab back into a fresh store (the naive-evaluation
+    load path: the whole provenance graph is materialized at once)."""
+    from repro.provenance.model import SchemaRegistry
+
+    static = spill.load_static()
+    registry = SchemaRegistry()
+    for schema in static["schemas"].values():
+        registry.register(schema)
+    store = ProvenanceStore(registry)
+    for relation, by_vertex in static["relations"].items():
+        for rows in by_vertex.values():
+            store.add_all(relation, rows)
+    for layer_index in spill.sealed_layers():
+        layer = spill.load_layer(layer_index)
+        for relation, by_vertex in layer.items():
+            for rows in by_vertex.values():
+                store.add_all(relation, rows)
+    return store

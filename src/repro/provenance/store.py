@@ -1,0 +1,206 @@
+"""The provenance store — the compact provenance graph of Section 3.
+
+Physically the store is: per relation, per vertex, a set of tuples, with
+time-sliced indexing for relations that carry a superstep attribute. This is
+exactly the paper's compact representation (Figure 4): one node per input
+vertex annotated with relation partitions, rather than one node per
+(vertex, superstep) pair.
+
+The store tracks serialized byte sizes incrementally (Tables 3/4 report
+capture sizes) and supports spilling sealed layers to disk through
+:class:`~repro.provenance.spill.SpillFile` — the stand-in for the paper's
+asynchronous HDFS offload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ProvenanceError
+from repro.provenance.model import RelationSchema, SchemaRegistry
+from repro.sizemodel import estimate_bytes
+
+Row = Tuple[Any, ...]
+
+
+class RelationPartition:
+    """Tuples of one relation at one vertex, sliced by superstep."""
+
+    __slots__ = ("schema", "rows", "by_time")
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self.rows: Set[Row] = set()
+        # superstep -> rows; only maintained for time-indexed relations.
+        self.by_time: Optional[Dict[int, Set[Row]]] = (
+            {} if schema.time_index is not None else None
+        )
+
+    def add(self, row: Row) -> bool:
+        """Insert; return True if the row is new."""
+        if row in self.rows:
+            return False
+        self.rows.add(row)
+        if self.by_time is not None:
+            t = row[self.schema.time_index]
+            bucket = self.by_time.get(t)
+            if bucket is None:
+                self.by_time[t] = {row}
+            else:
+                bucket.add(row)
+        return True
+
+    def at_time(self, superstep: int) -> Set[Row]:
+        if self.by_time is None:
+            return self.rows
+        return self.by_time.get(superstep, set())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+
+class ProvenanceStore:
+    """The captured provenance of one analytic run.
+
+    Organized relation-major (``relation -> vertex -> partition``) because
+    query evaluation touches a few relations across many vertices.
+    """
+
+    def __init__(self, registry: Optional[SchemaRegistry] = None) -> None:
+        self.registry = registry or SchemaRegistry()
+        self._data: Dict[str, Dict[Any, RelationPartition]] = {}
+        self._bytes: Dict[str, int] = {}
+        self._num_rows = 0
+        self._max_superstep = -1
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def add(self, relation: str, row: Row) -> bool:
+        """Insert a fact; returns True if new. The vertex is row's first
+        attribute (the location specifier)."""
+        schema = self.registry.get(relation)
+        schema.check(row)
+        vertex = schema.location_of(row)
+        partitions = self._data.setdefault(relation, {})
+        partition = partitions.get(vertex)
+        if partition is None:
+            partition = RelationPartition(schema)
+            partitions[vertex] = partition
+        if not partition.add(row):
+            return False
+        self._num_rows += 1
+        self._bytes[relation] = self._bytes.get(relation, 0) + estimate_bytes(row)
+        t = schema.time_of(row)
+        if t is not None and t > self._max_superstep:
+            self._max_superstep = t
+        return True
+
+    def add_all(self, relation: str, rows: Iterable[Row]) -> int:
+        added = 0
+        for row in rows:
+            if self.add(relation, row):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def relations(self) -> List[str]:
+        return list(self._data.keys())
+
+    def has_relation(self, relation: str) -> bool:
+        return relation in self._data
+
+    def partition(self, relation: str, vertex: Any) -> Set[Row]:
+        partitions = self._data.get(relation)
+        if not partitions:
+            return set()
+        part = partitions.get(vertex)
+        return part.rows if part is not None else set()
+
+    def partition_at(self, relation: str, vertex: Any, superstep: int) -> Set[Row]:
+        partitions = self._data.get(relation)
+        if not partitions:
+            return set()
+        part = partitions.get(vertex)
+        return part.at_time(superstep) if part is not None else set()
+
+    def rows(self, relation: str) -> Iterator[Row]:
+        for part in self._data.get(relation, {}).values():
+            yield from part.rows
+
+    def vertices(self, relation: Optional[str] = None) -> Set[Any]:
+        if relation is not None:
+            return set(self._data.get(relation, {}))
+        out: Set[Any] = set()
+        for partitions in self._data.values():
+            out.update(partitions)
+        return out
+
+    def layer(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
+        """All time-indexed facts of one layer, relation -> vertex -> rows."""
+        out: Dict[str, Dict[Any, Set[Row]]] = {}
+        for relation, partitions in self._data.items():
+            schema = self.registry.get(relation)
+            if schema.time_index is None:
+                continue
+            by_vertex: Dict[Any, Set[Row]] = {}
+            for vertex, part in partitions.items():
+                rows = part.at_time(superstep)
+                if rows:
+                    by_vertex[vertex] = rows
+            if by_vertex:
+                out[relation] = by_vertex
+        return out
+
+    def execution_nodes(self) -> Set[Tuple[Any, int]]:
+        """The nodes of the unfolded provenance graph: every
+        ``(vertex, superstep)`` pair that carries at least one fact."""
+        nodes: Set[Tuple[Any, int]] = set()
+        for relation, partitions in self._data.items():
+            schema = self.registry.get(relation)
+            if schema.time_index is None:
+                continue
+            for vertex, part in partitions.items():
+                if part.by_time is not None:
+                    for t in part.by_time:
+                        nodes.add((vertex, t))
+        return nodes
+
+    @property
+    def max_superstep(self) -> int:
+        """Highest superstep seen across time-indexed relations (-1: none)."""
+        return self._max_superstep
+
+    @property
+    def num_layers(self) -> int:
+        return self._max_superstep + 1
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def total_bytes(self) -> int:
+        return sum(self._bytes.values())
+
+    def relation_bytes(self) -> Dict[str, int]:
+        return dict(self._bytes)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            relation: sum(len(p) for p in partitions.values())
+            for relation, partitions in self._data.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProvenanceStore(relations={len(self._data)}, "
+            f"rows={self._num_rows}, bytes={self.total_bytes()})"
+        )

@@ -1,0 +1,191 @@
+"""Database views backing the three PQL evaluation modes.
+
+The evaluator core (:mod:`repro.pql.eval`) is backend-agnostic; these classes
+define what "the partition of relation R at vertex v" means per mode:
+
+* :class:`StoreDatabase` — offline evaluation over a captured
+  :class:`~repro.provenance.store.ProvenanceStore` plus the static input
+  graph (``edge`` / ``vertex`` are virtual relations answered from the
+  adjacency structure) plus derived facts.
+* :class:`OnlineDatabase` — online evaluation: local transient provenance
+  facts, derived facts, and *remote* partitions that hold only what
+  neighbors piggybacked onto analytic messages (the paper's locality
+  restriction — a vertex can see exactly what was shipped to it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Set
+
+from repro.graph.digraph import DiGraph
+from repro.pql.eval import Database, Row, TupleStore
+from repro.provenance.store import ProvenanceStore
+
+
+class _StaticRelations:
+    """Virtual ``edge`` / ``vertex`` relations answered from the graph."""
+
+    def __init__(self, graph: Optional[DiGraph]) -> None:
+        self.graph = graph
+
+    def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
+        if self.graph is None or vertex not in self.graph:
+            return ()
+        if relation == "edge":
+            return [(vertex, t) for t, _ in self.graph.out_edges(vertex)]
+        if relation == "vertex":
+            return ((vertex,),)
+        return ()
+
+    def all_rows(self, relation: str) -> Iterator[Row]:
+        if self.graph is None:
+            return
+        if relation == "edge":
+            for u, v, _value in self.graph.edges():
+                yield (u, v)
+        elif relation == "vertex":
+            for v in self.graph.vertices():
+                yield (v,)
+
+    @staticmethod
+    def handles(relation: str) -> bool:
+        return relation in ("edge", "vertex")
+
+
+class StoreDatabase(Database):
+    """Offline view: captured store + static graph + derived facts."""
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        graph: Optional[DiGraph] = None,
+        head_predicates: Optional[Set[str]] = None,
+    ) -> None:
+        super().__init__()
+        self.store = store
+        self.static = _StaticRelations(graph)
+        self.head_predicates = head_predicates or set()
+
+    def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
+        if _StaticRelations.handles(relation):
+            return self.static.rows(relation, vertex)
+        stored = self.store.partition(relation, vertex)
+        if relation in self.head_predicates:
+            derived = self.derived.rows(relation, vertex)
+            if stored and derived:
+                return stored | derived
+            return derived or stored
+        return stored
+
+    def rows_at(self, relation: str, vertex: Any, time: Any) -> Iterable[Row]:
+        if _StaticRelations.handles(relation):
+            return self.static.rows(relation, vertex)
+        stored = self.store.partition_at(relation, vertex, time)
+        if relation in self.head_predicates:
+            # Derived partitions are not time-sliced; returning a superset
+            # is safe because the scan re-checks the time attribute.
+            derived = self.derived.rows(relation, vertex)
+            if stored and derived:
+                return stored | derived
+            return derived or stored
+        return stored
+
+    def all_rows(self, relation: str) -> Iterator[Row]:
+        if _StaticRelations.handles(relation):
+            yield from self.static.all_rows(relation)
+            return
+        yield from self.store.rows(relation)
+        if relation in self.head_predicates:
+            yield from self.derived.all_rows(relation)
+
+
+class OnlineDatabase(Database):
+    """Online view for one wrapper run.
+
+    ``local`` holds auto-captured provenance facts, ``stream`` the transient
+    facts of the superstep being evaluated (cleared per vertex), ``remote``
+    the tables neighbors shipped to each vertex, and ``derived`` (from the
+    base class) the query's IDB facts.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[DiGraph],
+        head_predicates: Set[str],
+        stream_relations: Set[str],
+    ) -> None:
+        super().__init__()
+        self.local = TupleStore()
+        self.stream = TupleStore()
+        # receiver -> TupleStore whose partitions are keyed by *sender*.
+        self.remote: Dict[Any, TupleStore] = {}
+        self.static = _StaticRelations(graph)
+        self.head_predicates = head_predicates
+        self.stream_relations = stream_relations
+        self.current_site: Any = None
+
+    # -- runtime hooks ------------------------------------------------------
+    def begin_vertex(self, site: Any) -> None:
+        """Reset per-vertex transient state before evaluating at ``site``."""
+        self.current_site = site
+        if self.stream_relations:
+            self.stream = TupleStore()
+
+    def merge_remote(
+        self, receiver: Any, sender: Any, relation: str, rows: Iterable[Row]
+    ) -> None:
+        inbox = self.remote.get(receiver)
+        if inbox is None:
+            inbox = TupleStore()
+            self.remote[receiver] = inbox
+        for row in rows:
+            inbox.add(relation, sender, row)
+
+    # -- Database interface ----------------------------------------------
+    def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
+        if _StaticRelations.handles(relation):
+            return self.static.rows(relation, vertex)
+        if vertex == self.current_site:
+            if relation in self.stream_relations:
+                return self.stream.rows(relation, vertex)
+            local = self.local.rows(relation, vertex)
+            if relation in self.head_predicates:
+                derived = self.derived.rows(relation, vertex)
+                if local and derived:
+                    return local | derived
+                return derived or local
+            return local
+        # Remote partition: only what `vertex` shipped to the current site.
+        inbox = self.remote.get(self.current_site)
+        if inbox is None:
+            return ()
+        return inbox.rows(relation, vertex)
+
+    def rows_at(self, relation: str, vertex: Any, time: Any) -> Iterable[Row]:
+        if _StaticRelations.handles(relation):
+            return self.static.rows(relation, vertex)
+        if vertex == self.current_site:
+            if relation in self.stream_relations:
+                return self.stream.rows(relation, vertex)
+            local = self.local.rows_at(relation, vertex, time)
+            if relation in self.head_predicates:
+                # Derived partitions are unsliced; the scan re-checks the
+                # time attribute, so a superset is safe.
+                derived = self.derived.rows(relation, vertex)
+                if derived:
+                    return list(local) + list(derived)
+            return local
+        inbox = self.remote.get(self.current_site)
+        if inbox is None:
+            return ()
+        return inbox.rows(relation, vertex)
+
+    def all_rows(self, relation: str) -> Iterator[Row]:
+        # Online rules are never evaluated in free mode; only static setup
+        # uses all_rows, and static relations are handled by the graph.
+        if _StaticRelations.handles(relation):
+            yield from self.static.all_rows(relation)
+            return
+        yield from self.local.all_rows(relation)
+        if relation in self.head_predicates:
+            yield from self.derived.all_rows(relation)

@@ -1,0 +1,34 @@
+"""Message envelope used by provenance-aware runs.
+
+Ariadne appends query tables to the messages the vertices exchange
+(Section 5.2). The engine is oblivious: an :class:`Envelope` is just the
+message payload from its perspective. The wrapper vertex program unwraps the
+analytic's payload and merges the piggybacked table deltas into the
+receiver's remote partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+Row = Tuple[Any, ...]
+
+
+class Envelope:
+    """``(sender, payload, piggybacked tables)``."""
+
+    __slots__ = ("sender", "payload", "tables")
+
+    def __init__(
+        self,
+        sender: Any,
+        payload: Any,
+        tables: Optional[Dict[str, Sequence[Row]]] = None,
+    ) -> None:
+        self.sender = sender
+        self.payload = payload
+        self.tables = tables
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = sum(len(rows) for rows in self.tables.values()) if self.tables else 0
+        return f"Envelope(from={self.sender!r}, tables={n})"

@@ -1,0 +1,406 @@
+"""Online PQL evaluation — the paper's headline contribution (Section 5.2).
+
+A forward (or local) query is compiled into a *query vertex program* that
+wraps the unmodified analytic. Every superstep, each active vertex:
+
+1. unwraps incoming envelopes, handing the analytic its payloads and merging
+   piggybacked query tables into the vertex's remote partitions;
+2. runs the analytic's ``compute`` through a recording context that buffers
+   its outgoing messages and observes value/edge updates;
+3. records the transient provenance facts of this superstep — but only the
+   relations the query actually references (the paper's customized capture);
+4. evaluates the query's strata to a local fixpoint, anchored at the current
+   superstep;
+5. ships, per outgoing message, the delta of every remotely-referenced
+   relation since the last shipment to that target (per-target watermarks),
+   then releases the buffered messages as envelopes.
+
+Theorem 5.4's two guarantees hold by construction: the analytic cannot see
+query state (its context is a proxy; tables ride in envelope fields the
+analytic never reads), and query messages travel only on edges the analytic
+itself used.
+
+When a ``capture`` store is supplied, every derived head tuple is also
+persisted — capture *is* online evaluation of the capture query (Figure 1a).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analytics.base import Analytic
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine
+from repro.engine.vertex import VertexContext, VertexProgram
+from repro.errors import PQLCompatibilityError
+from repro.graph.digraph import DiGraph
+from repro.pql.analysis import CompiledQuery, compile_query, relation_windows
+from repro.pql.ast import Program
+from repro.pql.eval import MODE_ANCHORED, MODE_FREE, prepare_strata, run_prepared, run_strata
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.provenance.model import SchemaRegistry, freeze
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.db import OnlineDatabase
+from repro.runtime.envelope import Envelope
+from repro.runtime.results import OnlineRunResult, QueryResult
+
+
+class RecordingContext:
+    """Proxy context handed to the analytic: buffers sends, observes
+    value/edge updates, delegates everything else to the real context."""
+
+    __slots__ = ("_ctx", "sends", "edge_updates")
+
+    def __init__(self, ctx: VertexContext) -> None:
+        self._ctx = ctx
+        self.sends: List[Tuple[Any, Any]] = []
+        self.edge_updates: List[Tuple[Any, Any]] = []
+
+    # -- intercepted -------------------------------------------------------
+    def send(self, target: Any, message: Any) -> None:
+        self.sends.append((target, message))
+
+    def send_to_all(self, message: Any) -> None:
+        for target, _value in self._ctx.out_edges():
+            self.sends.append((target, message))
+
+    def set_edge_value(self, target: Any, value: Any) -> None:
+        self.edge_updates.append((target, value))
+        self._ctx.set_edge_value(target, value)
+
+    # -- delegated ---------------------------------------------------------
+    @property
+    def vertex_id(self) -> Any:
+        return self._ctx.vertex_id
+
+    @property
+    def superstep(self) -> int:
+        return self._ctx.superstep
+
+    @property
+    def value(self) -> Any:
+        return self._ctx.value
+
+    def set_value(self, value: Any) -> None:
+        self._ctx.set_value(value)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._ctx.num_vertices
+
+    def out_edges(self):
+        return self._ctx.out_edges()
+
+    def out_neighbors(self):
+        return self._ctx.out_neighbors()
+
+    def in_neighbors(self):
+        return self._ctx.in_neighbors()
+
+    def out_degree(self) -> int:
+        return self._ctx.out_degree()
+
+    def edge_value(self, target: Any) -> Any:
+        return self._ctx.edge_value(target)
+
+    def vote_to_halt(self) -> None:
+        self._ctx.vote_to_halt()
+
+    def aggregate(self, name: str, value: Any) -> None:
+        self._ctx.aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        return self._ctx.aggregated(name)
+
+
+class _PersistingOnlineDatabase(OnlineDatabase):
+    """Online database that also appends derived head tuples to a store."""
+
+    def __init__(self, *args: Any, store: Optional[ProvenanceStore],
+                 persist: Set[str], **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.store = store
+        self.persist = persist if store is not None else set()
+
+    def add(self, relation: str, row: Tuple[Any, ...]) -> bool:
+        new = super().add(relation, row)
+        if new and relation in self.persist:
+            self.store.add(relation, row)
+        return new
+
+
+class OnlineQueryProgram(VertexProgram):
+    """The analytic with the compiled PQL query appended (Figure 2)."""
+
+    def __init__(
+        self,
+        inner: VertexProgram,
+        compiled: CompiledQuery,
+        functions: FunctionRegistry,
+        graph: DiGraph,
+        store: Optional[ProvenanceStore] = None,
+        value_projector: Optional[Callable[[Any], Any]] = None,
+        prune_history: bool = True,
+        ship_full_tables: bool = False,
+        timed_index: bool = True,
+    ) -> None:
+        compiled.require_online()
+        aggregate_heads = {
+            c.head_predicate for c in compiled.rules if c.is_aggregate
+        }
+        shipped_aggregates = aggregate_heads & compiled.remote_relations
+        if shipped_aggregates:
+            raise PQLCompatibilityError(
+                "aggregate relations cannot be referenced remotely in online "
+                f"evaluation: {sorted(shipped_aggregates)}"
+            )
+        self.inner = inner
+        self.name = f"online[{inner.name}]"
+        self.compiled = compiled
+        self.functions = functions
+        self.value_projector = value_projector or (lambda v: v)
+        self.db = _PersistingOnlineDatabase(
+            graph,
+            compiled.head_predicates,
+            compiled.stream_relations,
+            store=store,
+            persist=set(compiled.head_predicates),
+        )
+        need = compiled.auto_capture
+        self._need_superstep = "superstep" in need
+        self._need_value = "value" in need
+        self._need_evolution = "evolution" in need
+        self._need_send = "send_message" in need
+        self._need_receive = "receive_message" in need
+        self._need_edge_value = "edge_value" in need
+        stream = compiled.stream_relations
+        self._need_stream_value = "vertex_value" in stream
+        self._need_stream_send = "send" in stream
+        self._need_stream_receive = "receive" in stream
+        self._remote_rels = sorted(compiled.remote_relations)
+        self._prepared = prepare_strata(compiled.strata)
+        # Window pruning: transient relations whose history is provably
+        # bounded get pruned per superstep, keeping online memory flat.
+        # Pruning is disabled entirely when capturing (the store persists
+        # heads, but auto-captured EDBs must survive for re-derivation) —
+        # actually heads are persisted eagerly, so pruning stays safe; it
+        # is disabled only for relations shipped to neighbors.
+        self._windows: Dict[str, int] = {}
+        if prune_history:
+            for relation, window in relation_windows(compiled).items():
+                if window is None or relation in compiled.remote_relations:
+                    continue
+                self._windows[relation] = window
+        self.pruned_rows = 0
+        # Ablation switches: ship full tables instead of per-target deltas
+        # (measures the value of watermark shipping) and disable the
+        # per-superstep partition index (measures the value of rows_at).
+        self.ship_full_tables = ship_full_tables
+        self.timed_index = timed_index
+        self.shipped_tuples = 0
+        self._last_active: Dict[Any, int] = {}
+        # vertex -> target -> relation -> shipped watermark
+        self._watermarks: Dict[Any, Dict[Any, Dict[str, int]]] = {}
+        self.derivations = 0
+        self.query_seconds = 0.0
+
+    # -- delegation to the analytic --------------------------------------
+    def initial_value(self, vertex_id: Any, graph: Any) -> Any:
+        return self.inner.initial_value(vertex_id, graph)
+
+    def aggregators(self):
+        return self.inner.aggregators()
+
+    def master_halt(self, aggregators: Any, superstep: int) -> bool:
+        return self.inner.master_halt(aggregators, superstep)
+
+    def combiner(self):
+        return None  # envelopes carry senders and tables; never combine
+
+    # -- setup -------------------------------------------------------------
+    def run_setup(self) -> None:
+        """Evaluate static rules (e.g. Query 4's in-degree) once."""
+        if not self.compiled.static_rules:
+            return
+        max_stratum = max(c.stratum for c in self.compiled.static_rules)
+        buckets: List[List[Any]] = [[] for _ in range(max_stratum + 1)]
+        for crule in self.compiled.static_rules:
+            buckets[crule.stratum].append(crule)
+        self.derivations += run_strata(
+            buckets, MODE_FREE, self.db, self.functions, [None]
+        )
+
+    # -- the appended vertex program --------------------------------------
+    def compute(self, ctx: VertexContext, messages: Sequence[Envelope]) -> None:
+        x = ctx.vertex_id
+        s = ctx.superstep
+        db = self.db
+        db.begin_vertex(x)
+
+        add_local = (
+            db.local.add_timed if self.timed_index else
+            (lambda rel, vertex, row, _t: db.local.add(rel, vertex, row))
+        )
+        payloads: List[Any] = []
+        if messages:
+            for env in messages:
+                payloads.append(env.payload)
+                if self._need_receive:
+                    add_local(
+                        "receive_message", x,
+                        (x, env.sender, freeze(env.payload), s), s,
+                    )
+                if self._need_stream_receive:
+                    db.stream.add("receive", x, (x, env.sender, freeze(env.payload)))
+                if env.tables:
+                    for rel, rows in env.tables.items():
+                        db.merge_remote(x, env.sender, rel, rows)
+
+        recorder = RecordingContext(ctx)
+        self.inner.compute(recorder, payloads)
+
+        query_start = time.perf_counter()
+        if self._need_superstep:
+            add_local("superstep", x, (x, s), s)
+        if self._need_value or self._need_stream_value:
+            d = freeze(self.value_projector(ctx.value))
+            if self._need_value:
+                add_local("value", x, (x, d, s), s)
+            if self._need_stream_value:
+                db.stream.add("vertex_value", x, (x, d))
+        if self._need_evolution:
+            j = self._last_active.get(x)
+            if j is not None:
+                add_local("evolution", x, (x, j, s), s)
+        self._last_active[x] = s
+        for target, payload in recorder.sends:
+            if self._need_send:
+                add_local("send_message", x, (x, target, freeze(payload), s), s)
+            if self._need_stream_send:
+                db.stream.add("send", x, (x, target, freeze(payload)))
+        for target, value in recorder.edge_updates:
+            if self._need_edge_value:
+                add_local("edge_value", x, (x, target, freeze(value), s), s)
+
+        self.derivations += run_prepared(
+            self._prepared, MODE_ANCHORED, db, self.functions, (x,),
+            anchor_time=s,
+        )
+        if self._windows:
+            for relation, window in self._windows.items():
+                part = db.local.partition(relation, x)
+                if part is not None:
+                    self.pruned_rows += part.prune_older_than(s - window)
+        self.query_seconds += time.perf_counter() - query_start
+
+        for target, payload in recorder.sends:
+            ctx.send(target, Envelope(x, payload, self._delta_tables(x, target)))
+
+    def _delta_tables(
+        self, vertex: Any, target: Any
+    ) -> Optional[Dict[str, List[Tuple[Any, ...]]]]:
+        """Unshipped tuples of every remotely-referenced relation."""
+        if not self._remote_rels:
+            return None
+        marks = self._watermarks.setdefault(vertex, {}).setdefault(target, {})
+        tables: Optional[Dict[str, List[Tuple[Any, ...]]]] = None
+        for rel in self._remote_rels:
+            if rel in self.compiled.head_predicates:
+                part = self.db.derived.partition(rel, vertex)
+            else:
+                part = self.db.local.partition(rel, vertex)
+            if part is None:
+                continue
+            start = 0 if self.ship_full_tables else marks.get(rel, 0)
+            order = part.order
+            if start < len(order):
+                if tables is None:
+                    tables = {}
+                tables[rel] = order[start:]
+                self.shipped_tuples += len(order) - start
+                marks[rel] = len(order)
+        return tables
+
+
+def _as_program(
+    inner: Union[Analytic, VertexProgram]
+) -> Tuple[VertexProgram, Callable[[Any], Any]]:
+    if isinstance(inner, Analytic):
+        return inner.make_program(), inner.provenance_value
+    return inner, lambda v: v
+
+
+def run_online(
+    graph: DiGraph,
+    analytic: Union[Analytic, VertexProgram],
+    query: Union[str, Program, CompiledQuery],
+    params: Optional[Dict[str, Any]] = None,
+    udfs: Optional[Dict[str, Callable[..., Any]]] = None,
+    capture: bool = False,
+    config: Optional[EngineConfig] = None,
+    max_supersteps: Optional[int] = None,
+) -> OnlineRunResult:
+    """Run ``analytic`` on ``graph`` with ``query`` evaluated online.
+
+    ``query`` may be PQL source text, a parsed program, or an already
+    compiled query. With ``capture=True`` the derived head relations are
+    persisted into a fresh :class:`ProvenanceStore` returned on the result.
+    """
+    functions = FunctionRegistry(udfs)
+    compiled = _compile(query, functions, params)
+    program, projector = _as_program(analytic)
+
+    store: Optional[ProvenanceStore] = None
+    if capture:
+        store = ProvenanceStore()
+        for schema in compiled.idb_schemas.values():
+            store.registry.register(schema)
+
+    wrapper = OnlineQueryProgram(
+        program, compiled, functions, graph, store=store,
+        value_projector=projector,
+    )
+    wrapper.run_setup()
+
+    engine_config = config or EngineConfig()
+    engine_config = EngineConfig(
+        num_workers=engine_config.num_workers,
+        max_supersteps=engine_config.max_supersteps,
+        track_message_bytes=engine_config.track_message_bytes,
+        use_combiner=False,  # envelopes carry senders and tables
+        deterministic_delivery=engine_config.deterministic_delivery,
+    )
+    engine = PregelEngine(graph, config=engine_config)
+    run = engine.run(wrapper, max_supersteps=max_supersteps)
+
+    query_result = QueryResult(
+        derived=wrapper.db.derived,
+        mode="capture" if capture else "online",
+        wall_seconds=run.metrics.wall_seconds,
+        supersteps=run.num_supersteps,
+        derivations=wrapper.derivations,
+        stats={
+            "query_seconds": wrapper.query_seconds,
+            "head_predicates": sorted(compiled.head_predicates),
+            "pruned_rows": wrapper.pruned_rows,
+            "transient_rows": wrapper.db.local.num_rows(),
+            "shipped_tuples": wrapper.shipped_tuples,
+        },
+    )
+    return OnlineRunResult(analytic=run, query=query_result, store=store)
+
+
+def _compile(
+    query: Union[str, Program, CompiledQuery],
+    functions: FunctionRegistry,
+    params: Optional[Dict[str, Any]],
+    registry: Optional[SchemaRegistry] = None,
+) -> CompiledQuery:
+    if isinstance(query, CompiledQuery):
+        return query
+    program = parse(query) if isinstance(query, str) else query
+    if params:
+        program = program.bind(**params)
+    return compile_query(program, registry=registry, functions=functions)

@@ -1,0 +1,65 @@
+"""Result containers for PQL evaluation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.engine.engine import RunResult
+from repro.pql.eval import Row, TupleStore
+from repro.provenance.store import ProvenanceStore
+
+
+@dataclass
+class QueryResult:
+    """Derived relations of one query evaluation, plus run statistics."""
+
+    derived: TupleStore
+    mode: str  # 'online' | 'layered' | 'naive' | 'reference'
+    wall_seconds: float = 0.0
+    supersteps: int = 0
+    derivations: int = 0
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def relations(self) -> List[str]:
+        """Relations with at least one derived row, plus every head
+        predicate of the query (so empty results are visible as zero
+        counts rather than silently missing)."""
+        derived = set(self.derived.relations())
+        derived.update(self.stats.get("head_predicates", ()))
+        return sorted(derived)
+
+    def rows(self, relation: str) -> List[Row]:
+        """All derived tuples of one relation, deterministically sorted."""
+        return sorted(self.derived.all_rows(relation), key=repr)
+
+    def count(self, relation: str) -> int:
+        return self.derived.num_rows(relation)
+
+    def vertices(self, relation: str) -> Set[Any]:
+        return {row[0] for row in self.derived.all_rows(relation)}
+
+    def rows_at(self, relation: str, vertex: Any) -> List[Row]:
+        return sorted(self.derived.rows(relation, vertex), key=repr)
+
+    def as_dict(self) -> Dict[str, List[Row]]:
+        return {rel: self.rows(rel) for rel in self.relations()}
+
+
+@dataclass
+class OnlineRunResult:
+    """Outcome of an online (or capture) run: the analytic's result, the
+    query result evaluated in lockstep, and — for capture runs — the
+    persisted provenance store."""
+
+    analytic: RunResult
+    query: QueryResult
+    store: Optional[ProvenanceStore] = None
+
+    @property
+    def values(self) -> Dict[Any, Any]:
+        return self.analytic.values
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.analytic.metrics.wall_seconds

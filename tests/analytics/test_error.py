@@ -1,0 +1,72 @@
+"""Unit tests for the normalized-error metrics of Section 6.2.2."""
+
+import math
+
+import pytest
+
+from repro.analytics.error import lp_norm, median, normalized_error, trimmed_mean
+from repro.errors import BenchmarkError
+
+
+class TestLpNorm:
+    def test_l1(self):
+        assert lp_norm([1, -2, 3], p=1) == 6.0
+
+    def test_l2(self):
+        assert lp_norm([3, 4], p=2) == pytest.approx(5.0)
+
+    def test_linf(self):
+        assert lp_norm([1, -7, 3], p=0) == 7.0
+
+    def test_higher_order(self):
+        assert lp_norm([2, 2], p=3) == pytest.approx((16.0) ** (1 / 3))
+
+    def test_empty(self):
+        assert lp_norm([], p=2) == 0.0
+
+
+class TestNormalizedError:
+    def test_identical_vectors(self):
+        assert normalized_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # L2: |(3,4)-(0,0)| / |(3,4)| = 1
+        assert normalized_error([3.0, 4.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(BenchmarkError):
+            normalized_error([1.0], [1.0, 2.0])
+
+    def test_matching_infinities_excluded(self):
+        err = normalized_error([1.0, math.inf], [2.0, math.inf], p=1)
+        assert err == pytest.approx(1.0)
+
+    def test_disagreeing_infinity_penalized(self):
+        err = normalized_error([1.0, math.inf], [1.0, 3.0], p=1)
+        assert err > 0.0
+
+    def test_zero_denominator(self):
+        assert normalized_error([0.0], [0.0]) == 0.0
+        assert normalized_error([0.0], [1.0]) == float("inf")
+
+
+class TestSummaries:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_ignores_inf(self):
+        assert median([1.0, math.inf, 3.0]) == 2.0
+        assert median([math.inf]) == math.inf
+
+    def test_trimmed_mean_drops_extremes(self):
+        # the paper's runtime statistic: drop shortest and longest of 5 runs
+        assert trimmed_mean([100.0, 1.0, 2.0, 3.0, 0.0]) == 2.0
+
+    def test_trimmed_mean_small_samples(self):
+        assert trimmed_mean([4.0]) == 4.0
+        assert trimmed_mean([2.0, 4.0]) == 3.0
+
+    def test_trimmed_mean_empty_raises(self):
+        with pytest.raises(BenchmarkError):
+            trimmed_mean([])

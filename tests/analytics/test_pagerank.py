@@ -1,0 +1,85 @@
+"""Unit tests for PageRank (exact and approximate)."""
+
+import pytest
+
+from repro.analytics.error import normalized_error
+from repro.analytics.pagerank import PageRank
+from repro.engine.engine import PregelEngine, run_program
+from repro.graph.digraph import DiGraph, from_edge_list
+from repro.graph.generators import web_graph
+
+
+def ranks(analytic, graph, **kwargs):
+    result = run_program(graph, analytic.make_program(), **kwargs)
+    return {v: analytic.provenance_value(val) for v, val in result.values.items()}
+
+
+class TestExactPageRank:
+    def test_fixed_superstep_count(self):
+        g = web_graph(100, avg_degree=4, seed=1)
+        result = run_program(g, PageRank(num_supersteps=10).make_program())
+        assert result.num_supersteps == 10
+
+    def test_ranks_average_one(self):
+        # Unnormalized Giraph formulation: ranks sum to ~N (dangling
+        # vertices leak a little mass).
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)])  # cycle: no leak
+        r = ranks(PageRank(num_supersteps=30), g)
+        assert sum(r.values()) == pytest.approx(3.0, rel=1e-6)
+
+    def test_symmetric_cycle_uniform(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 0)])
+        r = ranks(PageRank(num_supersteps=30), g)
+        assert r[0] == pytest.approx(r[1]) == pytest.approx(r[2])
+
+    def test_hub_outranks_leaf(self):
+        # 1, 2, 3 all point at 0; 0 points at 1.
+        g = from_edge_list([(1, 0), (2, 0), (3, 0), (0, 1)])
+        r = ranks(PageRank(num_supersteps=30), g)
+        assert r[0] > r[2]
+        assert r[0] > r[3]
+
+    def test_power_iteration_recurrence(self):
+        # Two supersteps by hand: 0 -> 1, 1 -> 1 (self loop denies leak).
+        g = from_edge_list([(0, 1), (1, 1)])
+        r = ranks(PageRank(num_supersteps=2), g)
+        # step 1: rank(1) = 0.15 + 0.85 * (contrib(0) + contrib(1)) = 0.15 + 0.85*2
+        assert r[1] == pytest.approx(0.15 + 0.85 * 2.0)
+        assert r[0] == pytest.approx(0.15)
+
+
+class TestApproximatePageRank:
+    def test_epsilon_zero_matches_exact(self):
+        g = web_graph(200, avg_degree=5, seed=2)
+        exact = PageRank(num_supersteps=15)
+        approx = PageRank(num_supersteps=15, epsilon=0.0)
+        re = ranks(exact, g)
+        ra = ranks(approx, g)
+        for v in re:
+            assert ra[v] == pytest.approx(re[v], abs=1e-12)
+
+    def test_large_epsilon_reduces_messages(self):
+        g = web_graph(200, avg_degree=5, seed=3)
+        engine = PregelEngine(g)
+        exact = engine.run(PageRank(num_supersteps=15).make_program())
+        approx = engine.run(
+            PageRank(num_supersteps=15, epsilon=0.05).make_program()
+        )
+        assert approx.metrics.total_messages < exact.metrics.total_messages
+
+    def test_error_small_for_small_epsilon(self):
+        g = web_graph(300, avg_degree=6, seed=4)
+        exact_a = PageRank(num_supersteps=20)
+        approx_a = PageRank(num_supersteps=20, epsilon=0.01)
+        v0 = exact_a.result_vector(run_program(g, exact_a.make_program()).values)
+        v1 = approx_a.result_vector(run_program(g, approx_a.make_program()).values)
+        assert normalized_error(v0, v1, p=2) < 0.05
+
+    def test_name_reflects_epsilon(self):
+        assert "0.01" in PageRank(epsilon=0.01).name
+        assert PageRank().name == "pagerank"
+
+    def test_value_diff_default(self):
+        a = PageRank()
+        assert a.value_diff(1.0, 1.5) == pytest.approx(0.5)
+        assert a.value_diff(None, 1.0) == float("inf")

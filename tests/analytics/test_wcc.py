@@ -1,0 +1,71 @@
+"""Unit tests for weakly connected components."""
+
+import pytest
+
+from repro.analytics.wcc import WCC
+from repro.engine.engine import PregelEngine, run_program
+from repro.graph.digraph import DiGraph, from_edge_list
+from repro.graph.generators import chain_graph, web_graph
+from repro.graph.stats import weakly_connected_components
+
+
+def labels(graph):
+    return run_program(graph, WCC().make_program()).values
+
+
+class TestExactWCC:
+    def test_single_component(self):
+        g = from_edge_list([(3, 2), (2, 1), (1, 0)])
+        assert set(labels(g).values()) == {0}
+
+    def test_two_components(self):
+        g = from_edge_list([(0, 1), (5, 6)])
+        lab = labels(g)
+        assert lab[0] == lab[1] == 0
+        assert lab[5] == lab[6] == 5
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+        g = from_edge_list([(0, 1), (2, 1)])
+        assert set(labels(g).values()) == {0}
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = chain_graph(3)
+        g.add_vertex(42)
+        lab = labels(g)
+        assert lab[42] == 42
+
+    def test_matches_bfs_oracle(self, small_web):
+        lab = labels(small_web)
+        for component in weakly_connected_components(small_web):
+            expected = min(component)
+            for v in component:
+                assert lab[v] == expected
+
+    def test_no_duplicate_messages_to_shared_neighbor(self):
+        # u <-> v: both an out- and in-neighbor; broadcast must dedupe.
+        g = from_edge_list([(0, 1), (1, 0)])
+        result = run_program(g, WCC().make_program())
+        assert result.metrics.supersteps[0].messages_sent == 2
+
+
+class TestApproximateWCC:
+    def test_suppression_breaks_chains(self):
+        # Consecutive ids along a path: every improvement is exactly 1,
+        # which epsilon = 1 suppresses — the paper's "unsafe to
+        # approximate" scenario realized.
+        g = chain_graph(10, bidirectional=True)
+        exact = labels(g)
+        approx = run_program(g, WCC(epsilon=1.0).make_program()).values
+        assert set(exact.values()) == {0}
+        wrong = sum(1 for v in g.vertices() if approx[v] != exact[v])
+        assert wrong >= 7  # propagation dies right after the source
+
+    def test_epsilon_zero_is_exact(self, small_web):
+        exact = labels(small_web)
+        same = run_program(small_web, WCC(epsilon=0.0).make_program()).values
+        assert exact == same
+
+    def test_name(self):
+        assert WCC().name == "wcc"
+        assert "1.0" in WCC(epsilon=1.0).name

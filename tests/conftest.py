@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph, web_graph, with_random_weights
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """0 -> {1, 2} -> 3 with unit weights (two equal-length paths)."""
+    g = DiGraph()
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(0, 2, 1.0)
+    g.add_edge(1, 3, 1.0)
+    g.add_edge(2, 3, 1.0)
+    return g
+
+
+@pytest.fixture
+def weighted_chain() -> DiGraph:
+    """0 -> 1 -> 2 -> 3 -> 4 with unit weights."""
+    g = chain_graph(5)
+    for i in range(4):
+        g.set_edge_value(i, i + 1, 1.0)
+    return g
+
+
+@pytest.fixture
+def small_web() -> DiGraph:
+    """A small web-like graph for integration tests (deterministic)."""
+    return web_graph(300, avg_degree=6, target_diameter=10, seed=11)
+
+
+@pytest.fixture
+def small_weighted_web(small_web: DiGraph) -> DiGraph:
+    return with_random_weights(small_web, seed=11)

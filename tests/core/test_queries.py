@@ -1,0 +1,118 @@
+"""The paper's query library: every query compiles with the classification
+its evaluation section requires."""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.core import queries as Q
+from repro.pql.analysis import (
+    DIRECTION_BACKWARD,
+    DIRECTION_FORWARD,
+    DIRECTION_LOCAL,
+    compile_query,
+)
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+
+
+def compile_text(text, **params):
+    program = parse(text)
+    if params:
+        program = program.bind(**params)
+    funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
+    return compile_query(program, functions=funcs)
+
+
+class TestAptQuery:
+    def test_forward_and_online_eligible(self):
+        cq = compile_text(Q.APT_QUERY, eps=0.01)
+        assert cq.direction == DIRECTION_FORWARD
+        assert cq.online_eligible
+        assert cq.head_predicates == {
+            "change", "neighbor_change", "no_execute", "safe", "unsafe",
+        }
+
+    def test_ships_only_change(self):
+        cq = compile_text(Q.APT_QUERY, eps=0.01)
+        assert cq.remote_relations == {"change"}
+
+    def test_captures_only_what_it_reads(self):
+        # "the apt query refers only to the vertex values and not the
+        # message values, hence ARIADNE does not need to capture those"
+        cq = compile_text(Q.APT_QUERY, eps=0.01)
+        assert cq.auto_capture == {
+            "value", "evolution", "superstep", "receive_message",
+        }
+        assert "send_message" not in cq.auto_capture
+        assert "edge_value" not in cq.auto_capture
+
+    def test_udfs_threshold_semantics(self):
+        udfs = Q.apt_udfs(PageRank())
+        assert udfs["udf_diff"](1.0, 1.005, 0.01)  # small update
+        assert not udfs["udf_diff"](1.0, 1.5, 0.01)  # large update
+
+
+class TestCaptureQueries:
+    def test_query2_is_online_eligible(self):
+        cq = compile_text(Q.CAPTURE_FULL_QUERY)
+        assert cq.online_eligible
+        assert cq.uses_stream
+        assert cq.head_predicates == {
+            "value", "send_message", "receive_message", "superstep",
+            "evolution",
+        }
+
+    def test_query3_is_forward_recursive(self):
+        cq = compile_text(Q.CAPTURE_FWD_LINEAGE_QUERY, source=0)
+        assert cq.direction == DIRECTION_FORWARD
+        assert cq.remote_relations == {"fwd_lineage"}
+
+    def test_query11_prov_edges_topology(self):
+        cq = compile_text(Q.CAPTURE_BACKWARD_CUSTOM_QUERY)
+        assert cq.idb_schemas["prov_edges"].topology == "edge"
+        assert cq.idb_schemas["prov_send"].time_index == 1
+        assert cq.idb_schemas["prov_value"].time_index == 1
+        assert len(cq.static_rules) == 1  # prov_edges
+
+
+class TestMonitoringQueries:
+    def test_query4(self):
+        cq = compile_text(Q.PAGERANK_CHECK_QUERY)
+        assert cq.direction == DIRECTION_LOCAL
+        assert cq.static_rules[0].head_predicate == "has_in"
+
+    def test_query5_and_6(self):
+        for text in (Q.SSSP_WCC_UPDATE_CHECK_QUERY, Q.SSSP_WCC_STABILITY_QUERY):
+            cq = compile_text(text)
+            assert cq.online_eligible
+            assert "receive_message" in cq.auto_capture
+
+    def test_query7(self):
+        cq = compile_text(Q.ALS_ERROR_RANGE_QUERY)
+        assert cq.online_eligible
+        assert cq.auto_capture == {"edge_value"}
+
+    def test_query8_aggregates_stratified(self):
+        cq = compile_text(Q.ALS_ERROR_TREND_QUERY, eps=0.5)
+        strata = {c.head_predicate: c.stratum for c in cq.rules}
+        assert strata["sum_error"] > strata["prov_error"]
+        assert strata["problem"] >= strata["avg_error"]
+
+    def test_registry_covers_all_analytics(self):
+        assert set(Q.MONITORING_QUERIES) == {"pagerank", "sssp", "wcc", "als"}
+
+
+class TestBackwardQueries:
+    def test_query10(self):
+        cq = compile_text(Q.BACKWARD_LINEAGE_FULL_QUERY, alpha=0, sigma=5)
+        assert cq.direction == DIRECTION_BACKWARD
+        assert not cq.online_eligible
+        assert cq.layered_eligible
+
+    def test_query12_needs_store_schemas(self):
+        # Query 12 references captured relations; compiling against the core
+        # registry alone must fail cleanly.
+        from repro.errors import PQLSemanticError
+
+        with pytest.raises(PQLSemanticError, match="unknown predicate"):
+            compile_text(Q.BACKWARD_LINEAGE_CUSTOM_QUERY, alpha=0, sigma=5)

@@ -1,0 +1,102 @@
+"""Tests for the PQL query-template generators."""
+
+import pytest
+
+from repro.core import templates as T
+from repro.core.queries import apt_udfs
+from repro.analytics.sssp import SSSP
+from repro.analytics.kcore import KCore
+from repro.errors import PQLSemanticError
+from repro.graph.generators import web_graph, with_random_weights
+from repro.pql.analysis import compile_query
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(120, avg_degree=5, target_diameter=8, seed=71), seed=71
+    )
+
+
+def compiles(text, **params):
+    program = parse(text)
+    if params:
+        program = program.bind(**params)
+    funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
+    return compile_query(program, functions=funcs)
+
+
+class TestGeneration:
+    def test_every_template_compiles(self):
+        cases = [
+            T.monotonic_check("decreasing"),
+            T.monotonic_check("increasing"),
+            T.value_range_check(0.0, 5.0),
+            T.message_range_check(-1.0, 1.0),
+            T.update_requires_message(),
+            T.unexpected_sender_check(),
+            T.stuck_vertex_check(10),
+        ]
+        for text in cases:
+            cq = compiles(text)
+            assert cq.online_eligible
+
+    def test_lineage_templates_compile(self):
+        assert compiles(T.forward_lineage(), source=0).direction == "forward"
+        assert compiles(
+            T.backward_lineage(), alpha=0, sigma=3
+        ).direction == "backward"
+
+    def test_apt_template_matches_library(self):
+        cq = compiles(T.approximation_audit(), eps=0.1)
+        assert cq.head_predicates == {
+            "change", "neighbor_change", "no_execute", "safe", "unsafe",
+        }
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(PQLSemanticError):
+            T.monotonic_check("sideways")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(PQLSemanticError):
+            T.value_range_check(0, 1, result="BadName")
+
+    def test_combine(self):
+        text = T.combine(
+            T.monotonic_check("decreasing", result="mono_bad"),
+            T.value_range_check(0.0, 100.0, result="range_bad"),
+        )
+        cq = compiles(text)
+        assert cq.head_predicates == {"mono_bad", "range_bad"}
+
+
+class TestTemplatesEndToEnd:
+    def test_monotonic_check_clean_on_sssp(self, wgraph):
+        result = run_online(
+            wgraph, SSSP(source=0), T.monotonic_check("decreasing")
+        )
+        assert result.query.count("check_failed") == 0
+
+    def test_monotonic_check_fires_on_violation(self, wgraph):
+        # increasing-check on SSSP must flag every improvement
+        result = run_online(
+            wgraph, SSSP(source=0), T.monotonic_check("increasing")
+        )
+        assert result.query.count("check_failed") > 0
+
+    def test_value_range_check_on_kcore(self, wgraph):
+        result = run_online(
+            wgraph, KCore(), T.value_range_check(0.0, 10_000.0)
+        )
+        assert result.query.count("out_of_range") == 0
+
+    def test_stuck_vertex_check(self, wgraph):
+        result = run_online(
+            wgraph, SSSP(source=0), T.stuck_vertex_check(2)
+        )
+        # deep graphs still update distances after superstep 2
+        assert result.query.count("stuck") > 0
+        assert all(i > 2 for _x, i in result.query.rows("stuck"))

@@ -1,0 +1,102 @@
+"""Unit tests for Pregel aggregators."""
+
+import pytest
+
+from repro.engine.aggregators import (
+    Aggregator,
+    AggregatorRegistry,
+    count_aggregator,
+    max_aggregator,
+    min_aggregator,
+    sum_aggregator,
+)
+from repro.engine.engine import run_program
+from repro.engine.vertex import VertexProgram
+from repro.graph.generators import chain_graph
+
+
+class TestAggregator:
+    def test_value_lags_one_barrier(self):
+        agg = sum_aggregator()
+        agg.aggregate(2.0)
+        agg.aggregate(3.0)
+        assert agg.value == 0.0  # not yet visible
+        agg.barrier()
+        assert agg.value == 5.0
+        agg.barrier()
+        assert agg.value == 0.0  # reset after an empty superstep
+
+    def test_min_max_count(self):
+        mn, mx, ct = min_aggregator(), max_aggregator(), count_aggregator()
+        for v in (3, 1, 2):
+            mn.aggregate(v)
+            mx.aggregate(v)
+            ct.aggregate(1)
+        for a in (mn, mx, ct):
+            a.barrier()
+        assert mn.value == 1
+        assert mx.value == 3
+        assert ct.value == 3
+
+    def test_reset(self):
+        agg = sum_aggregator()
+        agg.aggregate(1.0)
+        agg.barrier()
+        agg.reset()
+        assert agg.value == 0.0
+
+
+class TestRegistry:
+    def test_lookup_and_values(self):
+        reg = AggregatorRegistry({"s": sum_aggregator()})
+        assert "s" in reg
+        reg.aggregate("s", 4.0)
+        reg.barrier()
+        assert reg.value("s") == 4.0
+        assert reg.values() == {"s": 4.0}
+
+    def test_unknown_name_raises(self):
+        reg = AggregatorRegistry()
+        with pytest.raises(KeyError):
+            reg.aggregate("missing", 1)
+
+
+class TestEngineIntegration:
+    def test_vertices_see_previous_superstep_value(self):
+        observed = {}
+
+        class Prog(VertexProgram):
+            def aggregators(self):
+                return {"total": sum_aggregator()}
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.aggregate("total", 1.0)
+                    ctx.send_to_all("go")
+                elif ctx.vertex_id == 1:
+                    # vertex 1 receives a message, so it computes at step 1
+                    observed["total"] = ctx.aggregated("total")
+                ctx.vote_to_halt()
+
+        run_program(chain_graph(4), Prog())
+        assert observed["total"] == 4.0
+
+    def test_master_halt_stops_run(self):
+        class Prog(VertexProgram):
+            def aggregators(self):
+                return {"active": count_aggregator()}
+
+            def compute(self, ctx, messages):
+                ctx.aggregate("active", 1)
+                ctx.send_to_all("again")
+                ctx.vote_to_halt()
+
+            def master_halt(self, aggregators, superstep):
+                return superstep >= 2
+
+        result = run_program(chain_graph(3), Prog())
+        assert result.num_supersteps == 3
+        assert result.halt_reason == "master_halt"
+        # Final aggregator value reflects the last superstep, where only the
+        # chain's tail vertex still received a message and computed.
+        assert result.aggregators["active"] == 1

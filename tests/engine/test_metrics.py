@@ -1,0 +1,61 @@
+"""Unit tests for engine run metrics."""
+
+from repro.engine.engine import run_program
+from repro.engine.metrics import RunMetrics, SuperstepMetrics
+from repro.engine.vertex import FunctionProgram
+from repro.graph.generators import chain_graph
+
+
+class TestSuperstepMetrics:
+    def test_defaults(self):
+        step = SuperstepMetrics(3)
+        assert step.superstep == 3
+        assert step.messages_sent == 0
+        assert step.wall_seconds == 0.0
+
+
+class TestRunMetrics:
+    def test_totals(self):
+        metrics = RunMetrics()
+        for i, (active, msgs) in enumerate([(5, 10), (3, 4)]):
+            step = SuperstepMetrics(i)
+            step.active_vertices = active
+            step.messages_sent = msgs
+            step.message_bytes = msgs * 8
+            step.cross_worker_messages = msgs // 2
+            metrics.supersteps.append(step)
+        assert metrics.num_supersteps == 2
+        assert metrics.total_messages == 14
+        assert metrics.total_active_vertices == 8
+        assert metrics.total_message_bytes == 112
+        assert metrics.total_cross_worker_messages == 7
+
+    def test_summary_keys(self):
+        metrics = RunMetrics()
+        summary = metrics.summary()
+        assert set(summary) == {
+            "supersteps", "wall_seconds", "vertex_executions", "messages",
+            "message_bytes", "cross_worker_messages",
+        }
+
+
+class TestEngineCounting:
+    def test_active_vertices_per_superstep(self):
+        def fn(ctx, msgs):
+            if ctx.superstep == 0 and ctx.vertex_id == 0:
+                ctx.send_to_all("x")
+            ctx.vote_to_halt()
+
+        result = run_program(chain_graph(4), FunctionProgram(fn))
+        steps = result.metrics.supersteps
+        assert steps[0].active_vertices == 4  # everyone at superstep 0
+        assert steps[1].active_vertices == 1  # only vertex 1 got a message
+
+    def test_wall_seconds_accumulate(self):
+        result = run_program(
+            chain_graph(3),
+            FunctionProgram(lambda ctx, m: ctx.vote_to_halt()),
+        )
+        assert result.metrics.wall_seconds >= sum(
+            s.wall_seconds for s in result.metrics.supersteps
+        ) > 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for vertex-program plumbing: combiners, FunctionProgram,
+context surface."""
+
+import pytest
+
+from repro.engine.engine import run_program
+from repro.engine.vertex import (
+    FunctionProgram,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.errors import EngineError
+from repro.graph.digraph import from_edge_list
+from repro.graph.generators import chain_graph
+
+
+class TestCombiners:
+    def test_min(self):
+        assert MinCombiner().combine(2, 5) == 2
+        assert MinCombiner().combine(5, 2) == 2
+
+    def test_max(self):
+        assert MaxCombiner().combine(2, 5) == 5
+
+    def test_sum(self):
+        assert SumCombiner().combine(2, 5) == 7
+
+
+class TestFunctionProgram:
+    def test_requires_callable(self):
+        with pytest.raises(EngineError):
+            FunctionProgram("not callable")
+
+    def test_static_initial_value(self):
+        prog = FunctionProgram(lambda ctx, m: ctx.vote_to_halt(), initial=7)
+        result = run_program(chain_graph(2), prog)
+        assert all(v == 7 for v in result.values.values())
+
+    def test_callable_initial_value(self):
+        prog = FunctionProgram(
+            lambda ctx, m: ctx.vote_to_halt(),
+            initial=lambda vid, g: vid * 10,
+        )
+        result = run_program(chain_graph(3), prog)
+        assert result.values == {0: 0, 1: 10, 2: 20}
+
+
+class TestContextSurface:
+    def test_topology_accessors(self):
+        g = from_edge_list([(0, 1), (0, 2), (1, 0)])
+        seen = {}
+
+        def fn(ctx, msgs):
+            if ctx.vertex_id == 0:
+                seen["out"] = sorted(ctx.out_neighbors())
+                seen["in"] = sorted(ctx.in_neighbors())
+                seen["deg"] = ctx.out_degree()
+                seen["n"] = ctx.num_vertices
+            ctx.vote_to_halt()
+
+        run_program(g, FunctionProgram(fn))
+        assert seen == {"out": [1, 2], "in": [1], "deg": 2, "n": 3}
+
+    def test_value_not_written_unless_set(self):
+        prog = FunctionProgram(lambda ctx, m: ctx.vote_to_halt(), initial=5)
+        result = run_program(chain_graph(2), prog)
+        assert result.values == {0: 5, 1: 5}

@@ -1,0 +1,72 @@
+"""The simulated worker count must never affect results — partitioning
+changes message routing (and the cross-worker metric), nothing else."""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine
+from repro.graph.generators import web_graph, with_random_weights
+from repro.graph.partition import RangePartitioner
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(200, avg_degree=6, target_diameter=10, seed=141), seed=141
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 7])
+class TestWorkerCountInvariance:
+    def test_sssp(self, wgraph, workers):
+        one = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=1)
+        ).run(SSSP(source=0).make_program())
+        many = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=workers)
+        ).run(SSSP(source=0).make_program())
+        assert one.values == many.values
+        assert one.num_supersteps == many.num_supersteps
+
+    def test_pagerank_bitwise(self, wgraph, workers):
+        one = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=1)
+        ).run(PageRank(num_supersteps=10).make_program())
+        many = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=workers)
+        ).run(PageRank(num_supersteps=10).make_program())
+        # message delivery order is identical, so floats match bitwise
+        assert one.values == many.values
+
+    def test_wcc(self, wgraph, workers):
+        one = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=1)
+        ).run(WCC().make_program())
+        many = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=workers)
+        ).run(WCC().make_program())
+        assert one.values == many.values
+
+
+class TestPartitionerChoice:
+    def test_range_partitioner_same_results(self, wgraph):
+        hash_run = PregelEngine(wgraph).run(SSSP(source=0).make_program())
+        range_run = PregelEngine(
+            wgraph,
+            partitioner=RangePartitioner(4, wgraph.num_vertices),
+        ).run(SSSP(source=0).make_program())
+        assert hash_run.values == range_run.values
+
+    def test_cross_worker_traffic_varies_with_workers(self, wgraph):
+        single = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=1)
+        ).run(SSSP(source=0).make_program())
+        multi = PregelEngine(
+            wgraph, config=EngineConfig(num_workers=4)
+        ).run(SSSP(source=0).make_program())
+        assert single.metrics.total_cross_worker_messages == 0
+        assert multi.metrics.total_cross_worker_messages > 0
+        assert single.metrics.total_messages == multi.metrics.total_messages

@@ -1,0 +1,71 @@
+"""Unit tests for the bipartite ratings graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+
+
+def make_small() -> BipartiteGraph:
+    bg = BipartiteGraph(num_users=3, num_items=2)
+    bg.add_rating(0, 0, 4.0)
+    bg.add_rating(0, 1, 2.0)
+    bg.add_rating(2, 1, 5.0)
+    return bg
+
+
+class TestBipartite:
+    def test_requires_both_sides(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(0, 5)
+        with pytest.raises(GraphError):
+            BipartiteGraph(5, 0)
+
+    def test_id_spaces(self):
+        bg = make_small()
+        assert bg.item_vertex(0) == 3
+        assert bg.is_user_vertex(2)
+        assert not bg.is_user_vertex(3)
+        assert bg.is_item_vertex(4)
+        assert not bg.is_item_vertex(5)
+
+    def test_rating_bounds_checked(self):
+        bg = make_small()
+        with pytest.raises(GraphError):
+            bg.add_rating(3, 0, 1.0)
+        with pytest.raises(GraphError):
+            bg.add_rating(0, 2, 1.0)
+
+    def test_rating_roundtrip(self):
+        bg = make_small()
+        assert bg.rating(0, 0) == 4.0
+        assert bg.num_ratings == 3
+        with pytest.raises(GraphError):
+            bg.rating(1, 0)
+
+    def test_overwrite_rating(self):
+        bg = make_small()
+        bg.add_rating(0, 0, 1.0)
+        assert bg.rating(0, 0) == 1.0
+        assert bg.num_ratings == 3
+
+    def test_user_ratings(self):
+        bg = make_small()
+        assert sorted(bg.user_ratings(0)) == [(0, 4.0), (1, 2.0)]
+        assert bg.user_ratings(1) == []
+
+    def test_to_digraph_edges_both_ways(self):
+        bg = make_small()
+        g = bg.to_digraph()
+        assert g.num_vertices == 5
+        assert g.num_edges == 2 * bg.num_ratings
+        iv = bg.item_vertex(0)
+        assert g.edge_value(0, iv) == 4.0
+        assert g.edge_value(iv, 0) == 4.0
+
+    def test_to_digraph_includes_isolated(self):
+        bg = make_small()
+        g = bg.to_digraph()
+        # user 1 rated nothing but must still exist as a vertex
+        assert 1 in g
+        assert g.out_degree(1) == 0

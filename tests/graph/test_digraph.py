@@ -1,0 +1,129 @@
+"""Unit tests for the directed-graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph, from_edge_list
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+
+    def test_add_vertex_idempotent(self):
+        g = DiGraph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.num_edges == 1
+
+    def test_add_edge_overwrites_value(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 1
+        assert g.edge_value(0, 1) == 2.0
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge(0, 0)
+        assert g.has_edge(0, 0)
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+
+    def test_from_edge_list(self):
+        g = from_edge_list([(0, 1), (1, 2)], vertices=[0, 1, 2, 3])
+        assert g.num_vertices == 4
+        assert g.num_edges == 2
+        assert g.out_degree(3) == 0
+
+    def test_len_matches_num_vertices(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        assert len(g) == g.num_vertices == 3
+
+
+class TestAccess:
+    def test_out_edges_and_neighbors(self):
+        g = DiGraph()
+        g.add_edge(0, 1, "w1")
+        g.add_edge(0, 2, "w2")
+        assert g.out_edges(0) == [(1, "w1"), (2, "w2")]
+        assert g.out_neighbors(0) == [1, 2]
+
+    def test_in_neighbors(self):
+        g = from_edge_list([(0, 2), (1, 2)])
+        assert sorted(g.in_neighbors(2)) == [0, 1]
+        assert g.in_degree(2) == 2
+
+    def test_degree_totals(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)])
+        assert g.degree(1) == 3  # out: 0, 2; in: 0
+
+    def test_unknown_vertex_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.out_edges(42)
+        with pytest.raises(GraphError):
+            g.in_neighbors(42)
+
+    def test_missing_edge_value_raises(self):
+        g = from_edge_list([(0, 1)])
+        with pytest.raises(GraphError):
+            g.edge_value(1, 0)
+
+    def test_set_edge_value(self):
+        g = from_edge_list([(0, 1)])
+        g.set_edge_value(0, 1, 3.5)
+        assert g.edge_value(0, 1) == 3.5
+        with pytest.raises(GraphError):
+            g.set_edge_value(1, 0, 1.0)
+
+    def test_edges_iteration_is_deterministic(self):
+        g = DiGraph()
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10, i)
+        assert list(g.edges()) == list(g.edges())
+
+
+class TestDerivedGraphs:
+    def test_reversed(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+        assert r.num_vertices == g.num_vertices
+
+    def test_reversed_preserves_values(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 9.0)
+        assert g.reversed().edge_value(1, 0) == 9.0
+
+    def test_subgraph(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        g = from_edge_list([(0, 1)])
+        dup = g.copy()
+        dup.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert dup.num_edges == 2
+
+    def test_map_edge_values(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 2.0)
+        doubled = g.map_edge_values(lambda u, v, w: w * 2)
+        assert doubled.edge_value(0, 1) == 4.0
+        assert g.edge_value(0, 1) == 2.0

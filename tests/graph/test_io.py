@@ -1,0 +1,70 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import movielens_like, web_graph, with_random_weights
+from repro.graph.io import read_edge_list, read_ratings, write_edge_list, write_ratings
+
+
+class TestEdgeListIO:
+    def test_roundtrip_unweighted(self, tmp_path):
+        g = web_graph(100, avg_degree=4, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.num_edges == g.num_edges
+        assert sorted((u, v) for u, v, _ in back.edges()) == sorted(
+            (u, v) for u, v, _ in g.edges()
+        )
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = with_random_weights(web_graph(50, avg_degree=4, seed=2), seed=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, weighted=True)
+        back = read_edge_list(path, weighted=True)
+        for u, v, w in g.edges():
+            assert back.edge_value(u, v) == pytest.approx(w)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% another\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="expected"):
+            read_edge_list(path)
+
+    def test_weighted_needs_three_columns(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path, weighted=True)
+
+
+class TestRatingsIO:
+    def test_roundtrip(self, tmp_path):
+        bg = movielens_like(20, 10, 80, seed=1)
+        path = tmp_path / "r.txt"
+        write_ratings(bg, path)
+        back = read_ratings(path, num_users=20, num_items=10)
+        assert back.num_ratings == bg.num_ratings
+        assert sorted(back.ratings()) == sorted(bg.ratings())
+
+    def test_infer_dimensions(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("0 0 3.5\n2 4 1.0\n")
+        bg = read_ratings(path)
+        assert bg.num_users == 3
+        assert bg.num_items == 5
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphError):
+            read_ratings(path)

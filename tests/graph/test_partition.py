@@ -1,0 +1,47 @@
+"""Unit tests for vertex partitioners."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.graph.partition import HashPartitioner, RangePartitioner
+
+
+class TestHashPartitioner:
+    def test_assignment_in_range(self):
+        p = HashPartitioner(4)
+        for v in range(100):
+            assert 0 <= p.worker_of(v) < 4
+
+    def test_balance_on_dense_ints(self):
+        p = HashPartitioner(4)
+        parts = p.partition(list(range(1000)))
+        sizes = [len(part) for part in parts]
+        assert sum(sizes) == 1000
+        assert max(sizes) - min(sizes) <= 1  # int hashing is perfectly even
+
+    def test_deterministic(self):
+        p = HashPartitioner(7)
+        assert p.worker_of(123) == p.worker_of(123)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(EngineError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_ranges_are_contiguous(self):
+        p = RangePartitioner(3, 9)
+        assert [p.worker_of(v) for v in range(9)] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_tail_goes_to_last_worker(self):
+        p = RangePartitioner(4, 10)
+        assert p.worker_of(9) == 3
+
+    def test_rejects_non_int(self):
+        p = RangePartitioner(2, 10)
+        with pytest.raises(EngineError):
+            p.worker_of("a")
+
+    def test_rejects_empty(self):
+        with pytest.raises(EngineError):
+            RangePartitioner(2, 0)

@@ -1,0 +1,237 @@
+"""Unit tests for PQL semantic analysis: safety, stratification,
+VC-compatibility, direction classification, time/topology inference."""
+
+import pytest
+
+from repro.errors import PQLCompatibilityError, PQLSemanticError
+from repro.pql.analysis import (
+    DIRECTION_BACKWARD,
+    DIRECTION_FORWARD,
+    DIRECTION_LOCAL,
+    DIRECTION_MIXED,
+    compile_query,
+)
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.provenance.model import TOPO_EDGE
+
+
+def compile_src(src, **params):
+    program = parse(src)
+    if params:
+        program = program.bind(**params)
+    funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
+    return compile_query(program, functions=funcs)
+
+
+class TestValidation:
+    def test_unknown_predicate(self):
+        with pytest.raises(PQLSemanticError, match="unknown predicate"):
+            compile_src("p(X) :- mystery(X).")
+
+    def test_function_resolved_to_boolcall(self):
+        cq = compile_src("p(X, I) :- value(X, D, I), udf_diff(D, 0, 1).")
+        assert cq.rules[0].body_relations == ("value",)
+
+    def test_builtin_arity_enforced(self):
+        with pytest.raises(PQLSemanticError, match="arity"):
+            compile_src("p(X) :- value(X, D).")
+
+    def test_idb_arity_consistency(self):
+        with pytest.raises(PQLSemanticError, match="inconsistent"):
+            compile_src("p(X) :- superstep(X, I). q(X) :- p(X, I), superstep(X, I).")
+
+    def test_head_location_must_be_variable(self):
+        with pytest.raises(PQLSemanticError, match="location"):
+            compile_src("p(1) :- superstep(X, I).")
+
+    def test_cannot_redefine_static(self):
+        with pytest.raises(PQLSemanticError, match="static"):
+            compile_src("edge(X, Y) :- superstep(X, Y).")
+
+    def test_cannot_redefine_stream(self):
+        with pytest.raises(PQLSemanticError, match="stream"):
+            compile_src("send(X, Y, M) :- receive_message(X, Y, M, I).")
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(PQLSemanticError, match="unsafe|unbound"):
+            compile_src("p(X, Z) :- superstep(X, I).")
+
+    def test_unsafe_negation(self):
+        with pytest.raises(PQLSemanticError):
+            compile_src("p(X) :- superstep(X, I), !value(X, D, J).")
+
+    def test_unbound_parameter_rejected(self):
+        with pytest.raises(PQLSemanticError, match="parameter"):
+            program = parse("p(X) :- value(X, D, I), D < $eps.")
+            compile_query(program)
+
+
+class TestStratification:
+    def test_linear_strata(self):
+        cq = compile_src(
+            "a(X, I) :- superstep(X, I)."
+            "b(X, I) :- superstep(X, I), !a(X, I)."
+            "c(X, I) :- b(X, I), !a(X, I)."
+        )
+        by_name = {c.head_predicate: c.stratum for c in cq.rules}
+        assert by_name["a"] < by_name["b"] <= by_name["c"]
+
+    def test_positive_recursion_same_stratum(self):
+        cq = compile_src(
+            "t(X, I) :- superstep(X, I)."
+            "t(X, I) :- receive_message(X, Y, M, I), t(Y, J), J < I."
+        )
+        strata = {c.stratum for c in cq.rules}
+        assert strata == {0}
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(PQLSemanticError, match="stratifiable"):
+            compile_src(
+                "a(X, I) :- superstep(X, I), !b(X, I)."
+                "b(X, I) :- superstep(X, I), !a(X, I)."
+            )
+
+    def test_aggregate_pushes_stratum(self):
+        cq = compile_src(
+            "e(X, I) :- superstep(X, I)."
+            "cnt(X, count(I)) :- e(X, I)."
+        )
+        by_name = {c.head_predicate: c.stratum for c in cq.rules}
+        assert by_name["cnt"] > by_name["e"]
+
+    def test_aggregate_over_recursive_self_rejected(self):
+        with pytest.raises(PQLSemanticError, match="stratifiable"):
+            compile_src("cnt(X, count(I)) :- cnt(X, I), superstep(X, I).")
+
+    def test_mixed_aggregate_definition_rejected(self):
+        with pytest.raises(PQLSemanticError, match="mixes"):
+            compile_src(
+                "d(X, count(Y)) :- edge(X, Y)."
+                "d(X, I) :- superstep(X, I)."
+            )
+
+
+class TestDirections:
+    def test_local(self):
+        cq = compile_src("p(X, I) :- value(X, D, I), superstep(X, I).")
+        assert cq.direction == DIRECTION_LOCAL
+        assert cq.online_eligible and cq.layered_eligible
+
+    def test_forward(self):
+        cq = compile_src(
+            "t(X, I) :- superstep(X, I)."
+            "t(X, I) :- receive_message(X, Y, M, I), t(Y, J), J < I."
+        )
+        assert cq.direction == DIRECTION_FORWARD
+        assert cq.online_eligible
+
+    def test_backward(self):
+        cq = compile_src(
+            "t(X, I) :- superstep(X, I)."
+            "t(X, I) :- send_message(X, Y, M, I), t(Y, J), J = I + 1."
+        )
+        assert cq.direction == DIRECTION_BACKWARD
+        assert not cq.online_eligible
+        assert cq.layered_eligible
+        with pytest.raises(PQLCompatibilityError):
+            cq.require_online()
+
+    def test_mixed(self):
+        cq = compile_src(
+            "f(X, I) :- receive_message(X, Y, M, I), t(Y, J), J < I."
+            "t(X, I) :- superstep(X, I)."
+            "b(X, I) :- send_message(X, Y, M, I), t(Y, J), J = I + 1."
+        )
+        assert cq.direction == DIRECTION_MIXED
+        assert not cq.layered_eligible
+        with pytest.raises(PQLCompatibilityError):
+            cq.require_layered()
+
+    def test_unguarded_remote_rejected(self):
+        # Y's table is read but no message/edge predicate co-locates it.
+        with pytest.raises(PQLCompatibilityError, match="VC-compatible"):
+            compile_src(
+                "t(X, I) :- superstep(X, I)."
+                "p(X, I) :- superstep(X, I), t(Y, I)."
+            )
+
+    def test_edge_guard_counts_as_backward(self):
+        cq = compile_src(
+            "t(X, I) :- superstep(X, I)."
+            "t(X, I) :- edge(X, Y), t(Y, J), J = I + 1, superstep(X, I)."
+        )
+        assert cq.direction == DIRECTION_BACKWARD
+
+
+class TestStaticRules:
+    def test_static_closure(self):
+        cq = compile_src(
+            "has_in(X) :- edge(Y, X)."
+            "checked(X, I) :- receive_message(X, Y, M, I), !has_in(X)."
+        )
+        assert len(cq.static_rules) == 1
+        assert cq.static_rules[0].head_predicate == "has_in"
+        dynamic = [c.head_predicate for s in cq.strata for c in s]
+        assert dynamic == ["checked"]
+
+    def test_static_chain(self):
+        cq = compile_src(
+            "e2(X, Y) :- edge(X, Y)."
+            "sym(X, Y) :- edge(X, Y), e2(X, Y)."
+        )
+        assert len(cq.static_rules) == 2
+
+    def test_core_relation_head_is_not_static(self):
+        cq = compile_src("superstep(X, I) :- superstep(X, I).")
+        assert not cq.static_rules
+        assert "superstep" in cq.auto_capture
+
+
+class TestInference:
+    def test_time_index_from_body(self):
+        cq = compile_src("p(X, D, I) :- value(X, D, I).")
+        assert cq.idb_schemas["p"].time_index == 2
+
+    def test_time_propagates_through_arithmetic(self):
+        cq = compile_src(
+            "p(X, J) :- receive_message(X, Y, M, I), J = I - 1."
+        )
+        assert cq.idb_schemas["p"].time_index == 1
+
+    def test_no_time_var(self):
+        cq = compile_src("p(X, D) :- value(X, D, I), I = 0.")
+        assert cq.idb_schemas["p"].time_index is None
+
+    def test_evolution_anchors_on_later_superstep(self):
+        cq = compile_src("evolution(X, J, I) :- evolution(X, J, I).")
+        rule = cq.rules[0]
+        assert rule.time_var == "I"
+        assert rule.head_time_index == 2
+
+    def test_topology_inherited_from_edge(self):
+        cq = compile_src("prov_edges(X, Y) :- edge(X, Y).")
+        assert cq.idb_schemas["prov_edges"].topology == TOPO_EDGE
+
+    def test_no_topology_when_args_reordered(self):
+        cq = compile_src("rev(Y, X) :- edge(X, Y).")
+        assert cq.idb_schemas["rev"].topology is None
+
+    def test_auto_capture_set(self):
+        cq = compile_src(
+            "p(X, I) :- value(X, D, I), receive_message(X, Y, M, I)."
+        )
+        assert cq.auto_capture == {"value", "receive_message"}
+
+    def test_remote_relations(self):
+        cq = compile_src(
+            "t(X, D, I) :- value(X, D, I)."
+            "f(X, I) :- receive_message(X, Y, M, I), t(Y, D, J), J < I."
+        )
+        assert cq.remote_relations == {"t"}
+
+    def test_stream_usage_blocks_offline(self):
+        cq = compile_src("pv(X, V, I) :- vertex_value(X, V), superstep(X, I).")
+        assert cq.uses_stream
+        with pytest.raises(PQLCompatibilityError):
+            cq.require_layered()

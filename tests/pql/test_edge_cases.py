@@ -1,0 +1,124 @@
+"""Edge-case tests across the PQL pipeline collected from review."""
+
+import pytest
+
+from repro.errors import PQLSemanticError, PQLSyntaxError
+from repro.pql.analysis import compile_query
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.offline import run_reference
+
+
+def compile_src(src, **params):
+    program = parse(src)
+    if params:
+        program = program.bind(**params)
+    return compile_query(program, functions=FunctionRegistry())
+
+
+class TestParserEdgeCases:
+    def test_empty_program(self):
+        assert parse("").rules == ()
+
+    def test_comment_only(self):
+        assert parse("% nothing here\n# or here\n").rules == ()
+
+    def test_zero_arity_atom_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p() :- q(X).")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X) :- q(X),.")
+
+    def test_double_negation_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X) :- !!q(X).")
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X) :- q(X, A), 1 < A < 3.")
+
+    def test_scientific_notation(self):
+        rule = parse("p(X) :- q(X, D), D < 1.5e-3.").rules[0]
+        assert rule.body[1].right.value == pytest.approx(0.0015)
+
+    def test_keyword_like_predicate_names(self):
+        # 'not' is an operator, but 'note'/'notify' are fine predicates
+        program = parse("note(X) :- value(X, D, I). notify(X) :- note(X).")
+        assert program.head_predicates() == frozenset({"note", "notify"})
+
+
+class TestAnalysisEdgeCases:
+    def test_anonymous_location_rejected(self):
+        with pytest.raises(PQLSemanticError, match="location"):
+            compile_src("p(X) :- value(_, D, I), superstep(X, I).")
+
+    def test_head_param_after_bind_is_constant(self):
+        # a parameter in head position is legal once bound
+        cq = compile_src(
+            "p(X, $tag) :- superstep(X, I).", tag="hello"
+        )
+        assert cq.rules[0].head_args[1].value == "hello"
+
+    def test_duplicate_rules_are_harmless(self):
+        cq = compile_src(
+            "p(X, I) :- superstep(X, I). p(X, I) :- superstep(X, I)."
+        )
+        assert len(cq.rules) == 2
+
+    def test_self_equality_comparison(self):
+        store = ProvenanceStore()
+        store.add("superstep", (0, 1))
+        result = run_reference(store, "p(X) :- superstep(X, I), I = I.")
+        assert result.rows("p") == [(0,)]
+
+    def test_comparison_between_incomparable_types_is_false(self):
+        store = ProvenanceStore()
+        store.add("value", (0, "text", 1))
+        result = run_reference(store, "p(X) :- value(X, D, I), D > 3.0.")
+        assert result.rows("p") == []
+
+    def test_negated_function_call(self):
+        store = ProvenanceStore()
+        store.add("value", (0, 2.0, 1))
+        store.add("value", (1, 9.0, 1))
+        result = run_reference(
+            store, "p(X) :- value(X, D, I), !outside(D, 0.0, 5.0)."
+        )
+        assert result.rows("p") == [(0,)]
+
+
+class TestEvaluationEdgeCases:
+    def test_empty_store_yields_empty_results(self):
+        result = run_reference(
+            ProvenanceStore(), "p(X, I) :- superstep(X, I)."
+        )
+        assert result.rows("p") == []
+        assert result.relations() == ["p"]
+
+    def test_string_vertex_ids(self):
+        store = ProvenanceStore()
+        store.add("superstep", ("alpha", 0))
+        store.add("superstep", ("beta", 0))
+        store.add("send_message", ("alpha", "beta", "m", 0))
+        result = run_reference(
+            store,
+            "t(X, I) :- superstep(X, I), X = 'beta'."
+            "t(X, I) :- send_message(X, Y, M, I), t(Y, J), J = I.",
+        )
+        assert ("alpha", 0) in result.rows("t")
+
+    def test_duplicate_head_derivations_dedupe(self):
+        store = ProvenanceStore()
+        store.add("receive_message", (0, 1, 1.0, 2))
+        store.add("receive_message", (0, 2, 2.0, 2))
+        result = run_reference(
+            store, "busy(X, I) :- receive_message(X, Y, M, I)."
+        )
+        assert result.rows("busy") == [(0, 2)]
+
+    def test_constant_location_head_rejected(self):
+        with pytest.raises(PQLSemanticError, match="location"):
+            compile_src("marker(0, 1).")

@@ -1,0 +1,80 @@
+"""Unit tests for the PQL tokenizer."""
+
+import pytest
+
+from repro.errors import PQLSyntaxError
+from repro.pql.lexer import EOF, IDENT, NUMBER, OP, PARAM, PUNCT, STRING, VAR, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_simple_rule(self):
+        toks = kinds("p(X) :- q(X).")
+        assert toks == [
+            (IDENT, "p"), (PUNCT, "("), (VAR, "X"), (PUNCT, ")"),
+            (PUNCT, ":-"),
+            (IDENT, "q"), (PUNCT, "("), (VAR, "X"), (PUNCT, ")"),
+            (PUNCT, "."),
+        ]
+
+    def test_eof_appended(self):
+        assert tokenize("")[-1].kind == EOF
+
+    def test_variables_vs_identifiers(self):
+        toks = kinds("Abc abc _x X1")
+        assert toks == [(VAR, "Abc"), (IDENT, "abc"), (VAR, "_x"), (VAR, "X1")]
+
+    def test_numbers(self):
+        toks = kinds("1 2.5 1e3 2.5e-2 .5")
+        assert [t for t, _ in toks] == [NUMBER] * 5
+        assert [x for _, x in toks] == ["1", "2.5", "1e3", "2.5e-2", ".5"]
+
+    def test_number_then_rule_dot(self):
+        # "I = 0." must not swallow the rule terminator into the number.
+        toks = kinds("0.")
+        assert toks == [(NUMBER, "0"), (PUNCT, ".")]
+
+    def test_strings(self):
+        assert kinds("'ab' \"cd\"") == [(STRING, "ab"), (STRING, "cd")]
+
+    def test_string_escape(self):
+        assert kinds(r"'a\'b'") == [(STRING, "a'b")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(PQLSyntaxError):
+            tokenize("'abc")
+
+    def test_params(self):
+        assert kinds("$eps $source_2") == [(PARAM, "eps"), (PARAM, "source_2")]
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            tokenize("$ x")
+
+    def test_operators(self):
+        toks = kinds("= == != <> < <= > >= + - * / !")
+        texts = [x for _, x in toks]
+        # <> normalizes to !=
+        assert texts == ["=", "==", "!=", "!=", "<", "<=", ">", ">=",
+                         "+", "-", "*", "/", "!"]
+
+    def test_not_keyword_becomes_bang(self):
+        assert kinds("not p") == [(OP, "!"), (IDENT, "p")]
+
+    def test_comments(self):
+        src = "p(X). % trailing\n# full line\n// slashes\nq(X)."
+        idents = [x for k, x in kinds(src) if k == IDENT]
+        assert idents == ["p", "q"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("p(X).\n  q(Y).")
+        q = [t for t in toks if t.text == "q"][0]
+        assert (q.line, q.column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(PQLSyntaxError) as info:
+            tokenize("p(X) :- q(X) @ r(X).")
+        assert "@" in str(info.value)

@@ -1,0 +1,157 @@
+"""Unit tests for the PQL parser."""
+
+import pytest
+
+from repro.errors import PQLSyntaxError
+from repro.pql.ast import (
+    Aggregate,
+    Atom,
+    AtomLiteral,
+    BinOp,
+    BoolCall,
+    Comparison,
+    Const,
+    FuncCall,
+    Param,
+    Var,
+)
+from repro.pql.parser import parse, parse_rule
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("p(X, 1).")
+        assert rule.is_fact
+        assert rule.head == Atom("p", (Var("X"), Const(1)))
+
+    def test_simple_rule(self):
+        rule = parse_rule("p(X) :- q(X), r(X, Y).")
+        assert rule.head.predicate == "p"
+        assert [l.atom.predicate for l in rule.body] == ["q", "r"]
+
+    def test_negation(self):
+        rule = parse_rule("p(X) :- q(X), !r(X).")
+        assert not rule.body[0].negated
+        assert rule.body[1].negated
+
+    def test_not_keyword(self):
+        rule = parse_rule("p(X) :- not r(X).")
+        assert rule.body[0].negated
+
+    def test_multiple_rules(self):
+        program = parse("p(X) :- q(X). r(Y) :- p(Y).")
+        assert len(program.rules) == 2
+
+    def test_missing_period(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X) :- q(X)")
+
+
+class TestComparisons:
+    def test_equality_normalized(self):
+        r1 = parse_rule("p(X) :- q(X, I), I = 3.")
+        r2 = parse_rule("p(X) :- q(X, I), I == 3.")
+        assert r1.body[1] == r2.body[1]
+        assert r1.body[1].op == "="
+
+    def test_arithmetic(self):
+        rule = parse_rule("p(X) :- q(X, I, J), J = I - 1.")
+        cmp = rule.body[1]
+        assert isinstance(cmp, Comparison)
+        assert cmp.right == BinOp("-", Var("I"), Const(1))
+
+    def test_precedence(self):
+        rule = parse_rule("p(X) :- q(X, A), A = 1 + 2 * 3.")
+        expr = rule.body[1].right
+        assert expr == BinOp("+", Const(1), BinOp("*", Const(2), Const(3)))
+
+    def test_parentheses(self):
+        rule = parse_rule("p(X) :- q(X, A), A = (1 + 2) * 3.")
+        expr = rule.body[1].right
+        assert expr == BinOp("*", BinOp("+", Const(1), Const(2)), Const(3))
+
+    def test_unary_minus_folds_constants(self):
+        rule = parse_rule("p(X) :- q(X, A), A > -5.0.")
+        assert rule.body[1].right == Const(-5.0)
+
+    def test_all_operators(self):
+        for op in ("!=", "<", "<=", ">", ">="):
+            rule = parse_rule(f"p(X) :- q(X, A), A {op} 1.")
+            assert rule.body[1].op == op
+
+
+class TestTermsAndHeads:
+    def test_params(self):
+        rule = parse_rule("p(X) :- q(X, D), D < $eps.")
+        assert rule.body[1].right == Param("eps")
+
+    def test_string_and_symbol_constants(self):
+        rule = parse_rule("p(X) :- q(X, 'lit', flag, true).")
+        args = rule.body[0].atom.args
+        assert args[1] == Const("lit")
+        assert args[2] == Const("flag")
+        assert args[3] == Const(True)
+
+    def test_function_call_term(self):
+        rule = parse_rule("p(X, E) :- q(X, V), E = elem(V, 2).")
+        assert rule.body[1].right == FuncCall("elem", (Var("V"), Const(2)))
+
+    def test_function_call_literal(self):
+        rule = parse_rule("p(X) :- q(X, A), udf_diff(A, 1, $eps).")
+        lit = rule.body[1]
+        # parsed as an atom; analysis later rewrites to BoolCall
+        assert isinstance(lit, AtomLiteral)
+        assert lit.atom.predicate == "udf_diff"
+
+    def test_aggregate_head(self):
+        rule = parse_rule("deg(X, count(Y)) :- edge(Y, X).")
+        agg = rule.head.args[1]
+        assert agg == Aggregate("count", Var("Y"))
+
+    def test_aggregate_in_body_rejected(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X) :- q(X, count(Y)).")
+
+    def test_aggregate_arity(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("p(X, count(Y, Z)) :- q(X, Y, Z).")
+
+    def test_expression_head_arg(self):
+        rule = parse_rule("avg(X, S / D) :- s(X, S), d(X, D).")
+        assert rule.head.args[1] == BinOp("/", Var("S"), Var("D"))
+
+    def test_anonymous_variable(self):
+        rule = parse_rule("p(X) :- q(X, _).")
+        assert rule.body[0].atom.args[1] == Var("_")
+
+
+class TestProgramHelpers:
+    def test_parameters_collected(self):
+        program = parse("p(X) :- q(X, D), D < $eps, X = $src.")
+        assert program.parameters() == frozenset({"eps", "src"})
+
+    def test_bind_replaces_params(self):
+        program = parse("p(X) :- q(X, D), D < $eps.")
+        bound = program.bind(eps=0.5)
+        assert bound.parameters() == frozenset()
+        assert "0.5" in str(bound)
+
+    def test_bind_missing_raises(self):
+        program = parse("p(X) :- q(X, D), D < $eps.")
+        with pytest.raises(Exception, match="eps"):
+            program.bind()
+
+    def test_head_and_body_predicates(self):
+        program = parse("p(X) :- q(X). r(X) :- p(X).")
+        assert program.head_predicates() == frozenset({"p", "r"})
+        assert program.body_predicates() == frozenset({"q", "p"})
+
+    def test_parse_rule_requires_single(self):
+        with pytest.raises(PQLSyntaxError):
+            parse_rule("p(X). q(X).")
+
+    def test_str_roundtrips_through_parser(self):
+        src = "p(X, I) :- q(X, D, I), !r(X), D > 1 + 2, udf(D)."
+        program = parse(src)
+        reparsed = parse(str(program))
+        assert reparsed.rules == program.rules

@@ -1,0 +1,93 @@
+"""Property tests for the join planner: rule-body literal order must never
+change query results (the planner re-orders greedily; any safe order it
+picks has to produce the same fixpoint)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import queries as Q
+from repro.pql.ast import Program, Rule
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.offline import run_reference
+
+
+def shuffled_program(program: Program, seed: int) -> Program:
+    rng = random.Random(seed)
+    rules = []
+    for rule in program.rules:
+        body = list(rule.body)
+        rng.shuffle(body)
+        rules.append(Rule(rule.head, tuple(body)))
+    return Program(tuple(rules), source=program.source)
+
+
+@st.composite
+def random_store(draw):
+    store = ProvenanceStore()
+    n = draw(st.integers(3, 10))
+    supersteps = draw(st.integers(2, 5))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    last_active = {}
+    for s in range(supersteps):
+        for v in range(n):
+            if s == 0 or rng.random() < 0.6:
+                store.add("superstep", (v, s))
+                store.add("value", (v, rng.randint(0, 5) * 1.0, s))
+                if v in last_active:
+                    store.add("evolution", (v, last_active[v], s))
+                last_active[v] = s
+                if rng.random() < 0.7:
+                    target = rng.randrange(n)
+                    store.add("send_message", (v, target, 1.0, s))
+                    if s + 1 < supersteps:
+                        store.add(
+                            "receive_message", (target, v, 1.0, s + 1)
+                        )
+    return store
+
+
+QUERIES = [
+    ("apt", Q.APT_QUERY, {"eps": 0.5}),
+    ("q5", Q.SSSP_WCC_UPDATE_CHECK_QUERY, {}),
+    ("q6", Q.SSSP_WCC_STABILITY_QUERY, {}),
+]
+
+
+class TestPlannerOrderIndependence:
+    @given(
+        random_store(),
+        st.sampled_from(QUERIES),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shuffled_bodies_same_results(self, store, case, seed):
+        _name, text, params = case
+        udfs = {"udf_diff": lambda a, b, e: abs(a - b) < e}
+        program = parse(text)
+        if params:
+            program = program.bind(**params)
+        shuffled = shuffled_program(program, seed)
+
+        base = run_reference(store, program, udfs=udfs)
+        permuted = run_reference(store, shuffled, udfs=udfs)
+        for rel in set(base.relations()) | set(permuted.relations()):
+            assert base.rows(rel) == permuted.rows(rel), rel
+
+    @given(random_store(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_recursive_query_order_independent(self, store, seed):
+        sigma = store.max_superstep
+        actives = [x for x, i in store.rows("superstep") if i == sigma]
+        if not actives:
+            return
+        params = {"alpha": min(actives), "sigma": sigma}
+        program = parse(Q.BACKWARD_LINEAGE_FULL_QUERY).bind(**params)
+        shuffled = shuffled_program(program, seed)
+        base = run_reference(store, program)
+        permuted = run_reference(store, shuffled)
+        assert base.rows("back_trace") == permuted.rows("back_trace")
+        assert base.rows("back_lineage") == permuted.rows("back_lineage")

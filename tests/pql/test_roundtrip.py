@@ -1,0 +1,101 @@
+"""Property test: pretty-printing a PQL AST and re-parsing it is identity.
+
+Random programs are generated directly as ASTs (not text), printed with the
+AST's ``__str__`` and parsed back; the two ASTs must match structurally.
+This pins down the printer/parser pair and catches precedence and lexing
+regressions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pql.ast import (
+    Aggregate,
+    Atom,
+    AtomLiteral,
+    BinOp,
+    Comparison,
+    Const,
+    FuncCall,
+    Param,
+    Program,
+    Rule,
+    Var,
+)
+from repro.pql.parser import parse
+
+var_names = st.sampled_from(["X", "Y", "I", "J", "D1", "W"])
+pred_names = st.sampled_from(["p", "q", "r", "superstep", "value"])
+func_names = st.sampled_from(["abs", "udf_diff", "elem"])
+param_names = st.sampled_from(["eps", "source"])
+
+constants = st.one_of(
+    st.integers(-100, 100).map(Const),
+    # floats whose repr round-trips through the lexer (no inf/nan)
+    st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    ).map(Const),
+    st.sampled_from(["a", "msg", "x1"]).map(Const),
+)
+
+variables = var_names.map(Var)
+params = param_names.map(Param)
+
+terms = st.recursive(
+    st.one_of(variables, constants, params),
+    lambda inner: st.one_of(
+        st.tuples(st.sampled_from("+-*/"), inner, inner).map(
+            lambda t: BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(func_names, st.lists(inner, min_size=1, max_size=2)).map(
+            lambda t: FuncCall(t[0], tuple(t[1]))
+        ),
+    ),
+    max_leaves=6,
+)
+
+atoms = st.tuples(
+    pred_names, st.lists(terms, min_size=1, max_size=4)
+).map(lambda t: Atom(t[0], tuple(t[1])))
+
+comparisons = st.tuples(
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]), terms, terms
+).map(lambda t: Comparison(t[0], t[1], t[2]))
+
+literals = st.one_of(
+    st.tuples(atoms, st.booleans()).map(lambda t: AtomLiteral(t[0], t[1])),
+    comparisons,
+)
+
+head_terms = st.one_of(
+    terms,
+    st.tuples(
+        st.sampled_from(["count", "sum", "min", "max", "avg"]), variables
+    ).map(lambda t: Aggregate(t[0], t[1])),
+)
+
+heads = st.tuples(
+    pred_names, st.lists(head_terms, min_size=1, max_size=3)
+).map(lambda t: Atom(t[0], tuple(t[1])))
+
+rules = st.tuples(heads, st.lists(literals, max_size=4)).map(
+    lambda t: Rule(t[0], tuple(t[1]))
+)
+
+programs = st.lists(rules, min_size=1, max_size=4).map(
+    lambda rs: Program(tuple(rs))
+)
+
+
+class TestRoundTrip:
+    @given(programs)
+    @settings(max_examples=200, deadline=None)
+    def test_print_parse_identity(self, program):
+        reparsed = parse(str(program))
+        assert reparsed.rules == program.rules
+
+    @given(rules)
+    @settings(max_examples=200, deadline=None)
+    def test_rule_roundtrip(self, rule):
+        reparsed = parse(str(rule))
+        assert reparsed.rules == (rule,)

@@ -1,0 +1,60 @@
+"""Unit tests for the function registry and builtins."""
+
+import math
+
+import pytest
+
+from repro.errors import PQLSemanticError
+from repro.pql.udf import BUILTIN_FUNCTIONS, FunctionRegistry
+
+
+class TestBuiltins:
+    def test_outside(self):
+        outside = BUILTIN_FUNCTIONS["outside"]
+        assert outside(6.0, 0.0, 5.0)
+        assert outside(-0.1, 0.0, 5.0)
+        assert not outside(0.0, 0.0, 5.0)
+        assert not outside(5.0, 0.0, 5.0)
+
+    def test_within(self):
+        within = BUILTIN_FUNCTIONS["within"]
+        assert within(2.5, 0.0, 5.0)
+        assert not within(5.1, 0.0, 5.0)
+
+    def test_elem(self):
+        elem = BUILTIN_FUNCTIONS["elem"]
+        assert elem((4.0, 3.5, 0.5), 2) == 0.5
+        assert elem("abc", 1) == "b"
+
+    def test_math_helpers(self):
+        assert BUILTIN_FUNCTIONS["sqrt"](4.0) == 2.0
+        assert BUILTIN_FUNCTIONS["abs"](-2) == 2
+        assert BUILTIN_FUNCTIONS["is_inf"](math.inf)
+        assert BUILTIN_FUNCTIONS["is_finite"](1.0)
+        assert BUILTIN_FUNCTIONS["min2"](1, 2) == 1
+        assert BUILTIN_FUNCTIONS["max2"](1, 2) == 2
+
+
+class TestRegistry:
+    def test_builtins_preloaded(self):
+        reg = FunctionRegistry()
+        assert "outside" in reg
+        assert reg.get("abs")(-1) == 1
+
+    def test_register_udf(self):
+        reg = FunctionRegistry({"double": lambda x: 2 * x})
+        assert reg.get("double")(3) == 6
+
+    def test_udf_overrides_builtin(self):
+        reg = FunctionRegistry({"abs": lambda x: "custom"})
+        assert reg.get("abs")(1) == "custom"
+        # but the shared table is untouched
+        assert FunctionRegistry().get("abs")(-1) == 1
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(PQLSemanticError):
+            FunctionRegistry({"bad": 42})
+
+    def test_unknown_function(self):
+        with pytest.raises(PQLSemanticError):
+            FunctionRegistry().get("nope")

@@ -1,0 +1,126 @@
+"""Tests for the JSON-lines provenance export."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.errors import ProvenanceError
+from repro.graph.generators import chain_graph
+from repro.provenance.export import (
+    export_jsonl,
+    export_path,
+    import_jsonl,
+    import_path,
+)
+from repro.provenance.model import RelationSchema, TOPO_EDGE
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.online import run_online
+
+
+@pytest.fixture
+def store():
+    g = chain_graph(4)
+    for i in range(3):
+        g.set_edge_value(i, i + 1, 1.0)
+    return run_online(
+        g, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    ).store
+
+
+class TestRoundTrip:
+    def test_store_roundtrip(self, store):
+        buf = io.StringIO()
+        written = export_jsonl(store, buf)
+        assert written == store.num_rows
+        buf.seek(0)
+        back = import_jsonl(buf)
+        assert back.num_rows == store.num_rows
+        for relation in store.relations():
+            assert set(back.rows(relation)) == set(store.rows(relation))
+
+    def test_schemas_preserved(self, tmp_path):
+        s = ProvenanceStore()
+        s.registry.register(RelationSchema("prov_edges", 2, topology=TOPO_EDGE))
+        s.add("prov_edges", (0, 1))
+        path = str(tmp_path / "p.jsonl")
+        export_path(s, path)
+        back = import_path(path)
+        assert back.registry.get("prov_edges").topology == TOPO_EDGE
+
+    def test_infinity_roundtrip(self):
+        s = ProvenanceStore()
+        s.add("value", (0, math.inf, 0))
+        s.add("value", (1, -math.inf, 0))
+        buf = io.StringIO()
+        export_jsonl(s, buf)
+        buf.seek(0)
+        back = import_jsonl(buf)
+        assert set(back.rows("value")) == {(0, math.inf, 0), (1, -math.inf, 0)}
+
+    def test_tuple_payloads_roundtrip(self):
+        s = ProvenanceStore()
+        s.add("edge_value", (0, 1, (4.0, 3.5, 0.5), 2))
+        buf = io.StringIO()
+        export_jsonl(s, buf)
+        buf.seek(0)
+        back = import_jsonl(buf)
+        assert set(back.rows("edge_value")) == {(0, 1, (4.0, 3.5, 0.5), 2)}
+
+    def test_queryable_after_roundtrip(self, store, tmp_path):
+        path = str(tmp_path / "p.jsonl")
+        export_path(store, path)
+        back = import_path(path)
+        from repro.runtime.offline import run_layered
+
+        sigma = back.max_superstep
+        alpha = min(x for x, i in back.rows("superstep") if i == sigma)
+        result = run_layered(
+            back, Q.BACKWARD_LINEAGE_FULL_QUERY,
+            params={"alpha": alpha, "sigma": sigma},
+        )
+        assert result.count("back_trace") >= 1
+
+
+class TestValidation:
+    def test_header_is_json(self, store):
+        buf = io.StringIO()
+        export_jsonl(store, buf)
+        buf.seek(0)
+        header = json.loads(buf.readline())
+        assert header["format"] == "repro-provenance"
+        assert "value" in header["schemas"]
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ProvenanceError, match="empty"):
+            import_jsonl(io.StringIO(""))
+
+    def test_wrong_format_rejected(self):
+        buf = io.StringIO(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ProvenanceError, match="not a"):
+            import_jsonl(buf)
+
+    def test_wrong_version_rejected(self):
+        buf = io.StringIO(
+            json.dumps({"format": "repro-provenance", "version": 99}) + "\n"
+        )
+        with pytest.raises(ProvenanceError, match="version"):
+            import_jsonl(buf)
+
+    def test_malformed_line_rejected(self):
+        buf = io.StringIO(
+            json.dumps({
+                "format": "repro-provenance", "version": 1, "schemas": {},
+            }) + "\nnot json\n"
+        )
+        with pytest.raises(ProvenanceError, match="line 2"):
+            import_jsonl(buf)
+
+    def test_nan_rejected(self):
+        s = ProvenanceStore()
+        s.add("value", (0, float("nan"), 0))
+        with pytest.raises(ProvenanceError, match="NaN"):
+            export_jsonl(s, io.StringIO())

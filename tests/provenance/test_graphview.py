@@ -1,0 +1,80 @@
+"""Unit tests for the unfolded provenance graph (Figure 3 / Definition 5.1)."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.graphview import unfold
+from repro.provenance.store import ProvenanceStore
+
+
+@pytest.fixture
+def sssp_like_store() -> ProvenanceStore:
+    """The running example of Figure 3: y -> x -> z across supersteps."""
+    s = ProvenanceStore()
+    # y updates at i-1 = 0 and messages x
+    s.add("superstep", ("y", 0))
+    s.add("value", ("y", 1.0, 0))
+    s.add("send_message", ("y", "x", 1.5, 0))
+    # x receives at i = 1, updates, messages z
+    s.add("superstep", ("x", 1))
+    s.add("value", ("x", 1.5, 1))
+    s.add("receive_message", ("x", "y", 1.5, 1))
+    s.add("send_message", ("x", "z", 2.0, 1))
+    # y messages x again; x doesn't update at i+1 = 2
+    s.add("superstep", ("y", 1))
+    s.add("send_message", ("y", "x", 1.7, 1))
+    s.add("superstep", ("x", 2))
+    s.add("value", ("x", 1.5, 2))
+    s.add("evolution", ("x", 1, 2))
+    s.add("superstep", ("z", 2))
+    s.add("receive_message", ("z", "x", 2.0, 2))
+    return s
+
+
+class TestUnfold:
+    def test_nodes_are_executions(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        assert ("y", 0) in g.nodes
+        assert ("x", 1) in g.nodes
+        assert ("x", 2) in g.nodes
+        assert ("z", 2) in g.nodes
+
+    def test_values_annotated(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        assert g.values[("x", 1)] == 1.5
+
+    def test_evolution_edges(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        assert (("x", 1), ("x", 2)) in g.evolution_edges
+
+    def test_message_edges_cross_one_layer(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        for (src, dst, _m) in g.message_edges:
+            assert dst[1] == src[1] + 1
+
+    def test_send_and_receive_agree(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        # x -> z edge is recorded both from x's send and z's receive
+        assert (("x", 1), ("z", 2), 2.0) in g.message_edges
+
+    def test_layers(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        assert g.num_layers == 3
+        assert g.layer(0) == {("y", 0)}
+        assert g.layer(1) == {("x", 1), ("y", 1)}
+        assert g.layer(2) == {("x", 2), ("z", 2)}
+        assert len(g.layers()) == 3
+
+    def test_layers_partition_nodes(self, sssp_like_store):
+        g = unfold(sssp_like_store)
+        union = set()
+        for layer in g.layers():
+            assert union.isdisjoint(layer)
+            union |= layer
+        assert union == g.nodes
+
+    def test_requires_superstep_relation(self):
+        s = ProvenanceStore()
+        s.add("value", (0, 1.0, 0))
+        with pytest.raises(ProvenanceError):
+            unfold(s)

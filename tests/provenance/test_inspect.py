@@ -1,0 +1,69 @@
+"""Tests for the provenance inspector (text debugging views)."""
+
+import pytest
+
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.graph.generators import chain_graph
+from repro.provenance import inspect as I
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def store():
+    g = chain_graph(5)
+    for i in range(4):
+        g.set_edge_value(i, i + 1, 1.0)
+    return run_online(
+        g, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    ).store
+
+
+class TestAccessors:
+    def test_value_timeline(self, store):
+        timeline = I.value_timeline(store, 2)
+        assert timeline[0][0] == 0  # active at superstep 0
+        assert timeline[-1][1] == 2.0  # final distance
+
+    def test_activity(self, store):
+        # chain vertex 3: active at superstep 0 and when its distance lands
+        assert I.activity(store, 3) == [0, 3]
+
+    def test_messages_at(self, store):
+        exchange = I.messages_at(store, 1, 1)
+        assert exchange["received"] == [(0, 1.0)]
+        assert exchange["sent"] == [(2, 2.0)]
+
+    def test_neighborhood(self, store):
+        assert I.neighborhood(store, 2, hops=1) == {1, 2, 3}
+        assert I.neighborhood(store, 2, hops=2) == {0, 1, 2, 3, 4}
+
+
+class TestRendering:
+    def test_render_vertex(self, store):
+        text = I.render_vertex(store, 2)
+        assert text.startswith("vertex 2")
+        assert "s0" in text and "recv[" in text and "sent[" in text
+
+    def test_render_vertex_empty(self):
+        from repro.provenance.store import ProvenanceStore
+
+        text = I.render_vertex(ProvenanceStore(), 7)
+        assert "no captured activity" in text
+
+    def test_render_slice(self, store):
+        text = I.render_slice(store, [0, 1, 2])
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("s0")
+        # vertex 0 is active only at superstep 0
+        assert lines[1].split()[1] == "*"
+
+    def test_truncates_long_message_lists(self, store):
+        text = I.render_vertex(store, 1, max_messages=0)
+        assert "..." in text or "recv[]" not in text
+
+    def test_summarize(self, store):
+        text = I.summarize(store)
+        assert "provenance store" in text
+        assert "value:" in text
+        assert "superstep:" in text

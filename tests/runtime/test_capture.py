@@ -1,0 +1,126 @@
+"""Capture tests: full capture (Query 2), custom captures (Queries 3, 11)."""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.engine.engine import run_program
+from repro.graph.generators import web_graph, with_random_weights
+from repro.provenance.graphview import unfold
+from repro.runtime.online import run_online
+from repro.sizemodel import graph_bytes
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(120, avg_degree=5, target_diameter=8, seed=31), seed=31
+    )
+
+
+@pytest.fixture(scope="module")
+def full_capture(wgraph):
+    return run_online(
+        wgraph, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    )
+
+
+class TestFullCapture:
+    def test_all_relations_present(self, full_capture):
+        assert set(full_capture.store.relations()) >= {
+            "value",
+            "send_message",
+            "receive_message",
+            "superstep",
+            "evolution",
+        }
+
+    def test_superstep_matches_activity(self, wgraph, full_capture):
+        # every vertex is active at superstep 0
+        layer0 = {
+            x for (x, i) in full_capture.store.rows("superstep") if i == 0
+        }
+        assert layer0 == set(wgraph.vertices())
+
+    def test_values_match_final_run(self, wgraph, full_capture):
+        # the last captured value of each vertex equals the analytic result
+        final = {}
+        for x, d, i in full_capture.store.rows("value"):
+            if x not in final or i > final[x][1]:
+                final[x] = (d, i)
+        for v, (d, _i) in final.items():
+            assert d == pytest.approx(full_capture.values[v])
+
+    def test_send_receive_are_duals(self, full_capture):
+        sends = {
+            (x, y, m, i) for x, y, m, i in full_capture.store.rows("send_message")
+        }
+        receives = {
+            (y, x, m, i - 1)
+            for x, y, m, i in full_capture.store.rows("receive_message")
+        }
+        assert sends == receives
+
+    def test_evolution_links_consecutive_activations(self, full_capture):
+        active = set(full_capture.store.rows("superstep"))
+        for x, j, i in full_capture.store.rows("evolution"):
+            assert j < i
+            assert (x, j) in active and (x, i) in active
+
+    def test_unfoldable(self, full_capture):
+        g = unfold(full_capture.store)
+        assert g.num_layers == full_capture.store.num_layers
+        for (src, dst, _m) in g.message_edges:
+            assert dst[1] == src[1] + 1
+
+    def test_provenance_larger_than_input(self, wgraph, full_capture):
+        # Table 3's qualitative claim: full provenance dwarfs the input.
+        assert full_capture.store.total_bytes() > graph_bytes(wgraph)
+
+
+class TestCustomCaptures:
+    def test_fwd_lineage_smaller_than_full(self, wgraph, full_capture):
+        custom = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_FWD_LINEAGE_QUERY,
+            params={"source": 0}, capture=True,
+        )
+        assert set(custom.store.relations()) == {"fwd_lineage"}
+        assert custom.store.total_bytes() < full_capture.store.total_bytes()
+
+    def test_fwd_lineage_covers_reachable_vertices(self, wgraph):
+        custom = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_FWD_LINEAGE_QUERY,
+            params={"source": 0}, capture=True,
+        )
+        influenced = {x for x, _v, _i in custom.store.rows("fwd_lineage")}
+        from repro.graph.stats import bfs_levels
+
+        reachable = set(bfs_levels(wgraph, 0, undirected=False))
+        assert influenced == reachable
+
+    def test_backward_custom_relations(self, wgraph):
+        custom = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
+            capture=True,
+        )
+        assert set(custom.store.relations()) == {
+            "prov_value", "prov_send", "prov_edges",
+        }
+        # prov_edges mirrors the input graph
+        edges = set(custom.store.rows("prov_edges"))
+        assert edges == {(u, v) for u, v, _w in wgraph.edges()}
+        # topology metadata survives into the store registry
+        assert custom.store.registry.get("prov_edges").topology == "edge"
+
+    def test_custom_backward_smaller_than_full(self, wgraph, full_capture):
+        custom = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
+            capture=True,
+        )
+        # Query 11 drops message payloads and receive edges (Section 6.3).
+        assert custom.store.total_bytes() < full_capture.store.total_bytes()
+
+    def test_capture_does_not_change_analytic(self, wgraph, full_capture):
+        baseline = run_program(wgraph, SSSP(source=0).make_program())
+        assert full_capture.values == baseline.values

@@ -1,0 +1,170 @@
+"""Online evaluation tests, centered on Theorem 5.4:
+
+1. the analytic's result is unchanged by lockstep query evaluation, and
+2. the query's online result equals its offline result over the captured
+   provenance of the same run.
+"""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.core import queries as Q
+from repro.engine.engine import run_program
+from repro.errors import PQLCompatibilityError
+from repro.graph.generators import web_graph, with_random_weights
+from repro.runtime.offline import run_reference
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_graph(150, avg_degree=5, target_diameter=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def wgraph(graph):
+    return with_random_weights(graph, seed=21)
+
+
+class TestTheorem54AnalyticUnchanged:
+    def test_pagerank_values_identical(self, graph):
+        analytic = PageRank(num_supersteps=10)
+        baseline = run_program(graph, analytic.make_program())
+        online = run_online(graph, analytic, Q.PAGERANK_CHECK_QUERY)
+        for v in graph.vertices():
+            assert online.values[v] == pytest.approx(
+                baseline.values[v], abs=1e-12
+            )
+
+    def test_sssp_values_identical(self, wgraph):
+        analytic = SSSP(source=0)
+        baseline = run_program(wgraph, analytic.make_program())
+        online = run_online(
+            wgraph, analytic, Q.SSSP_WCC_UPDATE_CHECK_QUERY
+        )
+        assert online.values == baseline.values
+
+    def test_superstep_count_identical(self, wgraph):
+        analytic = SSSP(source=0)
+        baseline = run_program(wgraph, analytic.make_program())
+        online = run_online(wgraph, analytic, Q.SSSP_WCC_STABILITY_QUERY)
+        assert online.analytic.num_supersteps == baseline.num_supersteps
+
+    def test_query_messages_only_on_analytic_edges(self, wgraph):
+        # The apt query ships `change` tables; total engine messages must
+        # equal the analytic's (piggybacking adds no messages).
+        analytic = SSSP(source=0)
+        from repro.engine.config import EngineConfig
+
+        baseline = run_program(
+            wgraph, analytic.make_program(),
+            config=EngineConfig(use_combiner=False),
+        )
+        online = run_online(
+            wgraph, analytic, Q.APT_QUERY, params={"eps": 0.1},
+            udfs=Q.apt_udfs(analytic),
+        )
+        assert (
+            online.analytic.metrics.total_messages
+            == baseline.metrics.total_messages
+        )
+
+
+class TestTheorem54QueryCorrect:
+    def _online_equals_offline(self, graph, analytic, query, params=None,
+                               udfs=None):
+        online = run_online(graph, analytic, query, params=params, udfs=udfs)
+        capture = run_online(
+            graph, analytic, Q.CAPTURE_FULL_QUERY, capture=True
+        )
+        offline = run_reference(
+            capture.store, query, graph=graph, params=params, udfs=udfs
+        )
+        assert online.query.relations() or offline.relations() == []
+        for rel in set(online.query.relations()) | set(offline.relations()):
+            assert online.query.rows(rel) == offline.rows(rel), rel
+
+    def test_query4_pagerank(self, graph):
+        self._online_equals_offline(
+            graph, PageRank(num_supersteps=8), Q.PAGERANK_CHECK_QUERY
+        )
+
+    def test_query5_sssp(self, wgraph):
+        self._online_equals_offline(
+            wgraph, SSSP(source=0), Q.SSSP_WCC_UPDATE_CHECK_QUERY
+        )
+
+    def test_query6_wcc(self, graph):
+        self._online_equals_offline(
+            graph, WCC(), Q.SSSP_WCC_STABILITY_QUERY
+        )
+
+    def test_apt_sssp(self, wgraph):
+        analytic = SSSP(source=0)
+        self._online_equals_offline(
+            wgraph, analytic, Q.APT_QUERY, params={"eps": 0.1},
+            udfs=Q.apt_udfs(analytic),
+        )
+
+    def test_forward_lineage_recursion(self, wgraph):
+        analytic = SSSP(source=0)
+        online = run_online(
+            wgraph, analytic, Q.CAPTURE_FWD_LINEAGE_QUERY,
+            params={"source": 0},
+        )
+        capture = run_online(
+            wgraph, analytic, Q.CAPTURE_FULL_QUERY, capture=True
+        )
+        offline = run_reference(
+            capture.store, Q.CAPTURE_FWD_LINEAGE_QUERY, graph=wgraph,
+            params={"source": 0},
+        )
+        assert online.query.rows("fwd_lineage") == offline.rows("fwd_lineage")
+        # the source influences a non-trivial part of the graph
+        assert len(online.query.vertices("fwd_lineage")) > 10
+
+
+class TestOnlineRestrictions:
+    def test_backward_query_rejected(self, wgraph):
+        with pytest.raises(PQLCompatibilityError):
+            run_online(
+                wgraph, SSSP(source=0), Q.BACKWARD_LINEAGE_FULL_QUERY,
+                params={"alpha": 0, "sigma": 3},
+            )
+
+    def test_remote_aggregate_rejected(self, graph):
+        query = (
+            "deg(X, count(Y)) :- receive_message(X, Y, M, I)."
+            "spread(X, I) :- receive_message(X, Y, M, I), deg(Y, D), D > 2."
+        )
+        with pytest.raises(PQLCompatibilityError, match="aggregate"):
+            run_online(graph, PageRank(num_supersteps=5), query)
+
+
+class TestOnlineMechanics:
+    def test_monitoring_query_fires_on_buggy_analytic(self, graph):
+        # An analytic that messages a fixed vertex id regardless of edges:
+        # Query 4 must flag receipts at vertices without in-edges.
+        from repro.engine.vertex import VertexProgram
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph()
+        g.add_edge(0, 1)
+        g.add_vertex(2)  # no in-edges
+
+        class Buggy(VertexProgram):
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0 and ctx.vertex_id == 0:
+                    ctx.send(2, "oops")  # not a neighbor!
+                ctx.vote_to_halt()
+
+        result = run_online(g, Buggy(), Q.PAGERANK_CHECK_QUERY)
+        assert result.query.rows("check_failed") == [(2, 0, 1)]
+
+    def test_no_capture_store_by_default(self, graph):
+        result = run_online(graph, PageRank(num_supersteps=5),
+                            Q.PAGERANK_CHECK_QUERY)
+        assert result.store is None
+        assert result.query.mode == "online"

@@ -1,0 +1,74 @@
+"""The runtimes accept PQL source, parsed programs, and compiled queries."""
+
+import pytest
+
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.errors import PQLSemanticError
+from repro.graph.generators import chain_graph
+from repro.pql.analysis import compile_query
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+from repro.runtime.offline import run_layered, run_naive
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = chain_graph(5)
+    for i in range(4):
+        g.set_edge_value(i, i + 1, 1.0)
+    return g
+
+
+@pytest.fixture(scope="module")
+def store(graph):
+    return run_online(
+        graph, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    ).store
+
+
+class TestQueryInputForms:
+    def test_online_accepts_source_text(self, graph):
+        result = run_online(graph, SSSP(source=0),
+                            Q.SSSP_WCC_STABILITY_QUERY)
+        assert result.query.count("problem") == 0
+
+    def test_online_accepts_parsed_program(self, graph):
+        program = parse(Q.SSSP_WCC_STABILITY_QUERY)
+        result = run_online(graph, SSSP(source=0), program)
+        assert result.query.count("problem") == 0
+
+    def test_online_accepts_compiled_query(self, graph):
+        functions = FunctionRegistry()
+        compiled = compile_query(
+            parse(Q.SSSP_WCC_STABILITY_QUERY), functions=functions
+        )
+        result = run_online(graph, SSSP(source=0), compiled)
+        assert result.query.count("problem") == 0
+
+    def test_offline_accepts_program_with_params(self, store, graph):
+        program = parse(Q.BACKWARD_LINEAGE_FULL_QUERY)
+        result = run_layered(
+            store, program, graph, params={"alpha": 4, "sigma": 4}
+        )
+        assert result.count("back_trace") >= 1
+
+    def test_params_with_text(self, store, graph):
+        result = run_naive(
+            store, Q.BACKWARD_LINEAGE_FULL_QUERY, graph,
+            params={"alpha": 4, "sigma": 4},
+        )
+        assert result.count("back_lineage") == 1
+
+    def test_unbound_params_rejected(self, graph):
+        with pytest.raises(PQLSemanticError, match="parameter"):
+            run_online(graph, SSSP(source=0), Q.APT_QUERY)
+
+    def test_vertex_program_accepted_directly(self, graph):
+        # run_online takes a raw VertexProgram too (identity projector)
+        result = run_online(
+            graph, SSSP(source=0).make_program(),
+            Q.SSSP_WCC_STABILITY_QUERY,
+        )
+        assert result.query.count("problem") == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the benchmark infrastructure (reporting + harness)."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ModeTimings, timed
+from repro.bench.reporting import format_cell, format_table, publish, results_dir
+from repro.bench.workloads import (
+    NAIVE_DATASETS,
+    analytic_for,
+    bench_scale,
+    ml20_for,
+    repeats,
+    web_graph_for,
+)
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(5) == "5"
+        assert format_cell(1234567) == "1,234,567"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.00123) == "1.23e-03"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(0) == "0"
+        assert format_cell("x") == "x"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            "T", ["a", "bb"], [(1, 2.0), ("long-cell", 3.5)]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        # all rows share the same width grid
+        assert len(lines[2]) == len(lines[3]) or lines[2].rstrip()
+        assert "long-cell" in lines[-1]
+
+    def test_publish_writes_file(self, capsys):
+        publish("unit_test_table", "Title\n=====\ncontent")
+        out = capsys.readouterr().out
+        assert "content" in out
+        path = os.path.join(results_dir(), "unit_test_table.txt")
+        assert os.path.exists(path)
+        os.unlink(path)
+
+
+class TestHarness:
+    def test_timed_returns_positive(self):
+        assert timed(lambda: sum(range(100)), n=3) > 0.0
+
+    def test_mode_timings_over(self):
+        timings = ModeTimings(baseline=2.0, online=3.0)
+        assert timings.over(timings.online) == 1.5
+        assert timings.over(None) is None
+        zero = ModeTimings(baseline=0.0)
+        assert zero.over(1.0) == float("inf")
+
+
+class TestWorkloads:
+    def test_graph_cache_returns_same_object(self):
+        a = web_graph_for("IN-04")
+        b = web_graph_for("IN-04")
+        assert a is b
+        w = web_graph_for("IN-04", weighted=True)
+        assert w is not a
+
+    def test_ml_cache(self):
+        assert ml20_for(5) is ml20_for(5)
+
+    def test_analytic_for(self):
+        analytic, graph = analytic_for("sssp", "IN-04")
+        assert analytic.name.startswith("sssp")
+        # weighted graph for SSSP
+        assert all(w is not None for _u, _v, w in graph.edges())
+        with pytest.raises(ValueError):
+            analytic_for("nope", "IN-04")
+
+    def test_scale_positive(self):
+        assert bench_scale() > 0
+
+    def test_naive_datasets_are_smallest(self):
+        assert NAIVE_DATASETS == ("IN-04", "UK-02")
+
+    def test_repeats_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_REPEATS", raising=False)
+        assert repeats() == 1
+        monkeypatch.setenv("REPRO_BENCH_REPEATS", "5")
+        assert repeats() == 5
+        monkeypatch.setenv("REPRO_BENCH_REPEATS", "zero")
+        assert repeats(3) == 3
+
+
+class TestMeasureQueryModes:
+    def test_populates_all_modes(self):
+        from repro.analytics.sssp import SSSP
+        from repro.bench.harness import measure_query_modes
+        from repro.core import queries as Q
+        from repro.graph.generators import chain_graph
+
+        g = chain_graph(6)
+        for i in range(5):
+            g.set_edge_value(i, i + 1, 1.0)
+        timings = measure_query_modes(
+            g, SSSP(source=0), Q.SSSP_WCC_STABILITY_QUERY
+        )
+        assert timings.baseline > 0
+        assert timings.online > 0
+        assert timings.capture > 0  # measured because no store was passed
+        assert timings.layered > 0
+        assert timings.naive > 0
+        assert timings.over(timings.online) > 0
+
+    def test_skips_requested_modes(self):
+        from repro.analytics.sssp import SSSP
+        from repro.bench.harness import measure_query_modes
+        from repro.core import queries as Q
+        from repro.graph.generators import chain_graph
+
+        g = chain_graph(4)
+        timings = measure_query_modes(
+            g, SSSP(source=0), Q.SSSP_WCC_STABILITY_QUERY,
+            with_naive=False, with_online=False,
+        )
+        assert timings.online is None
+        assert timings.naive is None
+        assert timings.over(timings.naive) is None

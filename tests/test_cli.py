@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import chain_graph, web_graph, with_random_weights
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.txt"
+    g = with_random_weights(
+        web_graph(80, avg_degree=4, target_diameter=6, seed=81), seed=81
+    )
+    write_edge_list(g, path, weighted=True)
+    return str(path)
+
+
+class TestCLI:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "IN-04" in out and "UK-05" in out
+
+    def test_run(self, graph_file, capsys):
+        code = main(["run", "--analytic", "sssp", "--graph", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supersteps:" in out
+
+    def test_monitor_named_query(self, graph_file, capsys):
+        code = main([
+            "monitor", "--analytic", "sssp", "--graph", graph_file,
+            "--query", "query5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "check_failed: 0 rows" in out
+
+    def test_monitor_inline_query(self, graph_file, capsys):
+        code = main([
+            "monitor", "--analytic", "sssp", "--graph", graph_file,
+            "--query", "got(X, I) :- receive_message(X, Y, M, I).",
+        ])
+        assert code == 0
+        assert "got:" in capsys.readouterr().out
+
+    def test_apt(self, graph_file, capsys):
+        code = main([
+            "apt", "--analytic", "sssp", "--graph", graph_file,
+            "--eps", "0.1",
+        ])
+        assert code == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_capture_query_inspect_roundtrip(self, graph_file, tmp_path,
+                                             capsys):
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        assert os.path.exists(os.path.join(store_dir, "static.slab"))
+        capsys.readouterr()
+
+        assert main([
+            "query", "--store", store_dir, "--query", "query10",
+            "--param", "alpha=0", "--param", "sigma=0",
+            "--show", "back_lineage",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "back_trace:" in out
+
+        assert main(["inspect", "--store", store_dir]) == 0
+        assert "provenance store" in capsys.readouterr().out
+
+        assert main(["inspect", "--store", store_dir, "--vertex", "0"]) == 0
+        assert "vertex 0" in capsys.readouterr().out
+
+    def test_missing_query_errors(self, graph_file, capsys):
+        code = main(["monitor", "--analytic", "sssp", "--graph", graph_file])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_param_errors(self, graph_file):
+        code = main([
+            "monitor", "--analytic", "sssp", "--graph", graph_file,
+            "--query", "query5", "--param", "oops",
+        ])
+        assert code == 2
+
+    def test_unknown_analytic_errors(self, graph_file):
+        code = main(["run", "--analytic", "nope", "--graph", graph_file])
+        assert code == 2
+
+
+class TestExportAndExplainCommands:
+    def test_export_roundtrip(self, graph_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "prov2")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        capsys.readouterr()
+        out_file = str(tmp_path / "prov.jsonl")
+        assert main(["export", "--store", store_dir, "--out", out_file]) == 0
+        assert "exported" in capsys.readouterr().out
+        from repro.provenance.export import import_path
+
+        store = import_path(out_file)
+        assert store.num_rows > 0
+
+    def test_explain_named_query(self, capsys):
+        assert main([
+            "explain", "--query", "query10",
+            "--param", "alpha=0", "--param", "sigma=5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "direction: backward" in out
+
+    def test_explain_verbose(self, capsys):
+        assert main([
+            "explain", "--query", "query4", "--verbose",
+        ]) == 0
+        assert "free plan" in capsys.readouterr().out

@@ -1,0 +1,28 @@
+"""The shipped .pql sample files must parse and compile."""
+
+import glob
+import os
+
+import pytest
+
+from repro.pql.analysis import compile_query
+from repro.pql.parser import parse
+from repro.pql.udf import FunctionRegistry
+
+QUERY_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "queries")
+QUERY_FILES = sorted(glob.glob(os.path.join(QUERY_DIR, "*.pql")))
+
+
+@pytest.mark.parametrize("path", QUERY_FILES, ids=os.path.basename)
+def test_sample_query_compiles(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        program = parse(fh.read())
+    params = {name: 10 for name in program.parameters()}
+    if params:
+        program = program.bind(**params)
+    compiled = compile_query(program, functions=FunctionRegistry())
+    assert compiled.online_eligible
+
+
+def test_samples_exist():
+    assert len(QUERY_FILES) >= 2

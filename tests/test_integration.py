@@ -1,0 +1,174 @@
+"""End-to-end integration tests: the complete paper workflows, crossing
+every subsystem (graph -> engine -> analytic -> capture -> PQL -> modes)."""
+
+import math
+
+import pytest
+
+from repro import (
+    ALS,
+    Ariadne,
+    EngineConfig,
+    PageRank,
+    ProvenanceStore,
+    SSSP,
+    WCC,
+)
+from repro.analytics import normalized_error, rmse_of_run
+from repro.core import queries as Q
+from repro.core import templates as T
+from repro.graph import movielens_like, web_graph, with_random_weights
+from repro.provenance.spill import SpillManager, rebuild_store
+from repro.runtime.offline import (
+    run_layered,
+    run_layered_from_spill,
+    run_naive_from_spill,
+)
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def web():
+    return web_graph(250, avg_degree=6, target_diameter=12, seed=101)
+
+
+@pytest.fixture(scope="module")
+def weighted(web):
+    return with_random_weights(web, seed=101)
+
+
+class TestFigure1Workflow:
+    """Declarative capture, then offline querying (Figure 1)."""
+
+    def test_capture_then_query_through_disk(self, weighted, tmp_path):
+        ariadne = Ariadne(weighted, SSSP(source=0))
+        capture = ariadne.capture()
+        with SpillManager(capture.store, directory=str(tmp_path)) as spill:
+            spill.seal_all()
+            # a different "process" reopens the sealed store
+            reopened = SpillManager.open(str(tmp_path))
+            store = rebuild_store(reopened)
+            assert store.num_rows == capture.store.num_rows
+            sigma = store.max_superstep
+            alpha = min(x for x, i in store.rows("superstep") if i == sigma)
+            layered = run_layered_from_spill(
+                reopened, Q.BACKWARD_LINEAGE_FULL_QUERY, weighted,
+                {"alpha": alpha, "sigma": sigma},
+            )
+            naive = run_naive_from_spill(
+                reopened, Q.BACKWARD_LINEAGE_FULL_QUERY, weighted,
+                {"alpha": alpha, "sigma": sigma},
+            )
+        assert layered.rows("back_trace") == naive.rows("back_trace")
+        assert layered.rows("back_lineage")
+
+
+class TestFigure2Workflow:
+    """Online querying with no capture step (Figure 2)."""
+
+    def test_monitoring_all_analytics(self, web, weighted):
+        cases = [
+            (web, PageRank(num_supersteps=10), Q.PAGERANK_CHECK_QUERY,
+             "check_failed"),
+            (weighted, SSSP(source=0), Q.SSSP_WCC_UPDATE_CHECK_QUERY,
+             "check_failed"),
+            (web, WCC(), Q.SSSP_WCC_STABILITY_QUERY, "problem"),
+        ]
+        for graph, analytic, query, relation in cases:
+            result = run_online(graph, analytic, query)
+            assert result.query.count(relation) == 0, analytic.name
+            assert result.store is None
+
+    def test_als_full_loop(self):
+        ratings = movielens_like(60, 30, 600, num_features=4, seed=5)
+        graph = ratings.to_digraph()
+        analytic = ALS(ratings, num_features=4, max_rounds=4)
+        ariadne = Ariadne(graph, analytic)
+        result = ariadne.query_online(Q.ALS_ERROR_RANGE_QUERY)
+        assert result.query.count("input_failed") == 0
+        assert result.query.count("algo_failed") == 0
+        assert rmse_of_run(result.analytic.aggregators) < 1.5
+
+
+class TestSection622Workflow:
+    """The full tuning loop: apt verdict -> optimized analytic -> error."""
+
+    def test_pagerank_tuning(self, web):
+        ariadne = Ariadne(web, PageRank(num_supersteps=15))
+        verdict = ariadne.apt(epsilon=0.01)
+        # the paper reports no unsafe vertices on its datasets; at our small
+        # synthetic scale a handful of hubs can accumulate many sub-epsilon
+        # updates into one large change, so assert the overwhelming verdict
+        safe = verdict.query.count("safe")
+        unsafe = verdict.query.count("unsafe")
+        assert safe > 0
+        assert unsafe <= 0.01 * safe
+
+        exact_a = PageRank(num_supersteps=15)
+        approx_a = PageRank(num_supersteps=15, epsilon=0.01)
+        exact = Ariadne(web, exact_a).baseline()
+        approx = Ariadne(web, approx_a).baseline()
+        err = normalized_error(
+            exact_a.result_vector(exact.values),
+            approx_a.result_vector(approx.values),
+            p=2,
+        )
+        assert err < 0.05
+        assert (
+            approx.metrics.total_messages < exact.metrics.total_messages
+        )
+
+    def test_wcc_tuning_rejected(self, web):
+        ariadne = Ariadne(web, WCC())
+        verdict = ariadne.apt(epsilon=1.0)
+        assert verdict.query.count("safe") == 0
+
+
+class TestCrossSubsystem:
+    def test_templates_with_capture_and_offline(self, weighted):
+        """A generated template query captured online, then re-evaluated
+        offline over a full capture — all three answers agree."""
+        analytic = SSSP(source=0)
+        text = T.combine(
+            T.monotonic_check("decreasing", result="mono_bad"),
+            T.update_requires_message(result="spont"),
+        )
+        online = run_online(weighted, analytic, text)
+        store = run_online(
+            weighted, analytic, Q.CAPTURE_FULL_QUERY, capture=True
+        ).store
+        offline = run_layered(store, text, weighted)
+        for rel in ("mono_bad", "spont"):
+            assert online.query.rows(rel) == offline.rows(rel)
+
+    def test_engine_config_flows_through_facade(self, weighted):
+        config = EngineConfig(num_workers=2, max_supersteps=3)
+        ariadne = Ariadne(weighted, SSSP(source=0), config=config)
+        result = ariadne.baseline()
+        assert result.num_supersteps == 3
+        online = ariadne.query_online(Q.SSSP_WCC_STABILITY_QUERY)
+        assert online.analytic.num_supersteps == 3
+
+    def test_store_registry_isolation(self, weighted):
+        """Two captures with different schemas never contaminate each
+        other's registries."""
+        a = run_online(
+            weighted, SSSP(source=0), Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
+            capture=True,
+        ).store
+        b = run_online(
+            weighted, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+        ).store
+        assert a.has_relation("prov_edges")
+        assert not b.has_relation("prov_edges")
+        assert b.has_relation("value")
+        assert not a.has_relation("value")
+
+    def test_unreachable_vertices_have_no_lineage(self, weighted):
+        # add an isolated island; its lineage must be empty
+        g = weighted.copy()
+        g.add_edge(9000, 9001, 1.0)
+        ariadne = Ariadne(g, SSSP(source=0))
+        store = ariadne.capture().store
+        result = ariadne.backward_lineage(store, 9001, 0)
+        assert result.rows("back_lineage") == [(9001, math.inf)]

@@ -1,0 +1,61 @@
+"""Unit tests for the serialized-size model."""
+
+import numpy as np
+
+from repro.graph.digraph import from_edge_list
+from repro.sizemodel import estimate_bytes, graph_bytes
+
+
+class TestEstimateBytes:
+    def test_scalars(self):
+        assert estimate_bytes(5) == 8
+        assert estimate_bytes(1.5) == 8
+        assert estimate_bytes(True) == 1
+        assert estimate_bytes(None) == 1
+
+    def test_strings(self):
+        assert estimate_bytes("") == 4
+        assert estimate_bytes("abcd") == 8
+        assert estimate_bytes(b"xy") == 6
+
+    def test_containers(self):
+        assert estimate_bytes((1, 2)) == 4 + 16
+        assert estimate_bytes([1, 2, 3]) == 4 + 24
+        assert estimate_bytes({"k": 1}) == 4 + (4 + 1) + 8
+
+    def test_nested(self):
+        assert estimate_bytes(((1,), (2, 3))) == 4 + (4 + 8) + (4 + 16)
+
+    def test_numpy(self):
+        arr = np.zeros(4, dtype=np.float64)
+        assert estimate_bytes(arr) == 4 + 32
+
+    def test_unknown_object_uses_repr(self):
+        class Thing:
+            def __repr__(self):
+                return "thing"
+
+        assert estimate_bytes(Thing()) == 4 + 5
+
+    def test_deterministic(self):
+        v = (1, "abc", (2.5, None))
+        assert estimate_bytes(v) == estimate_bytes(v)
+
+
+class TestGraphBytes:
+    def test_counts_vertices_and_edges(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        # 4 + 3*8 vertices + 2 edges * (16 + value)
+        expected = 4 + 24 + 2 * (16 + 1)  # value None = 1 byte
+        assert graph_bytes(g) == expected
+
+    def test_weighted_edges_cost_more(self):
+        g1 = from_edge_list([(0, 1)])
+        g2 = from_edge_list([(0, 1)])
+        g2.set_edge_value(0, 1, 3.14)
+        assert graph_bytes(g2) > graph_bytes(g1)
+
+    def test_scales_with_size(self):
+        small = from_edge_list([(i, i + 1) for i in range(10)])
+        large = from_edge_list([(i, i + 1) for i in range(100)])
+        assert graph_bytes(large) > graph_bytes(small) * 5
