@@ -1,0 +1,183 @@
+"""Engine hot-path micro-benchmark: frontier scheduling vs full scan.
+
+Measures the wall-clock effect of the frontier-driven superstep scheduler
+(and the bucketed message path it rides on) against the seed engine's
+whole-graph scan, in the same process, on the two workload shapes that
+bracket the design space:
+
+* **SSSP on a long-diameter grid** — the frontier is a O(sqrt(V)) wavefront
+  for ~2*sqrt(V) supersteps; a scan engine does O(V^1.5) vertex visits, a
+  frontier engine O(V). This is the fig12/fig7 long-tail shape.
+* **PageRank on a web-like graph** — the frontier is the whole graph every
+  superstep; this bounds the scheduler's overhead in the dense regime.
+
+Results (supersteps/sec, messages/sec, speedup) are written to
+``benchmarks/results/BENCH_engine.json`` so later PRs have a perf
+trajectory to regress against.
+
+Run standalone (CI smoke / perf tracking)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py
+
+Scale with ``REPRO_HOTPATH_VERTICES`` (default 50,000; CI smoke uses a tiny
+graph). Also runs under ``pytest benchmarks/ --benchmark-only`` with the
+rest of the suite.
+"""
+
+import json
+import os
+import time
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.bench import format_table, frontier_sssp_graph, publish, results_dir
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine
+from repro.graph.generators import web_graph
+
+SSSP_VERTICES = int(os.environ.get("REPRO_HOTPATH_VERTICES", "50000"))
+PAGERANK_VERTICES = max(64, SSSP_VERTICES // 5)
+PAGERANK_SUPERSTEPS = 10
+
+#: The acceptance bar for the frontier scheduler on the SSSP shape at full
+#: scale (tiny CI graphs have too little tail for the bound to be meaningful).
+FULL_SCALE_VERTICES = 50_000
+REQUIRED_SSSP_SPEEDUP = 2.0
+
+
+def run_mode(graph, make_program, frontier: bool):
+    engine = PregelEngine(
+        graph, config=EngineConfig(frontier_scheduling=frontier)
+    )
+    start = time.perf_counter()
+    result = engine.run(make_program())
+    wall = time.perf_counter() - start
+    metrics = result.metrics
+    return result, {
+        "wall_seconds": wall,
+        "supersteps": metrics.num_supersteps,
+        "supersteps_per_sec": metrics.num_supersteps / wall if wall else 0.0,
+        "messages": metrics.total_messages,
+        "messages_per_sec": metrics.total_messages / wall if wall else 0.0,
+        "vertex_executions": metrics.total_active_vertices,
+        "frontier_vertices": metrics.total_frontier_size,
+        "skipped_vertices": metrics.total_skipped_vertices,
+    }
+
+
+def measure(name, graph, make_program):
+    scan_result, scan = run_mode(graph, make_program, frontier=False)
+    frontier_result, frontier = run_mode(graph, make_program, frontier=True)
+    # the benchmark doubles as an equivalence check at scale
+    assert frontier_result.values == scan_result.values
+    assert frontier_result.halt_reason == scan_result.halt_reason
+    assert frontier["messages"] == scan["messages"]
+    return {
+        "name": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "scan": scan,
+        "frontier": frontier,
+        "speedup": (
+            scan["wall_seconds"] / frontier["wall_seconds"]
+            if frontier["wall_seconds"]
+            else float("inf")
+        ),
+    }
+
+
+def build_report():
+    workloads = [
+        measure(
+            "sssp_grid",
+            frontier_sssp_graph(SSSP_VERTICES),
+            lambda: SSSP(source=0).make_program(),
+        ),
+        measure(
+            "pagerank_web",
+            web_graph(
+                PAGERANK_VERTICES, avg_degree=8, target_diameter=12, seed=5
+            ),
+            lambda: PageRank(num_supersteps=PAGERANK_SUPERSTEPS).make_program(),
+        ),
+    ]
+    return {
+        "benchmark": "engine_hotpath",
+        "config": {
+            "sssp_vertices": SSSP_VERTICES,
+            "pagerank_vertices": PAGERANK_VERTICES,
+            "pagerank_supersteps": PAGERANK_SUPERSTEPS,
+        },
+        "workloads": {w["name"]: w for w in workloads},
+    }
+
+
+def write_json(report) -> str:
+    path = os.path.join(results_dir(), "BENCH_engine.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def publish_table(report) -> None:
+    rows = []
+    for w in report["workloads"].values():
+        rows.append(
+            (
+                w["name"],
+                w["num_vertices"],
+                w["scan"]["wall_seconds"],
+                w["frontier"]["wall_seconds"],
+                w["speedup"],
+                w["frontier"]["supersteps_per_sec"],
+                w["frontier"]["messages_per_sec"],
+                w["frontier"]["skipped_vertices"],
+            )
+        )
+    table = format_table(
+        "Engine hot path: frontier scheduling vs full scan",
+        ["Workload", "|V|", "Scan s", "Frontier s", "Speedup",
+         "Supersteps/s", "Messages/s", "Skipped vertices"],
+        rows,
+    )
+    publish("engine_hotpath", table)
+
+
+def check_report(report) -> None:
+    sssp = report["workloads"]["sssp_grid"]
+    # the grid tail must actually skip work under frontier scheduling
+    assert sssp["frontier"]["skipped_vertices"] > 0
+    assert sssp["frontier"]["vertex_executions"] < (
+        sssp["frontier"]["supersteps"] * sssp["num_vertices"]
+    )
+    if sssp["num_vertices"] >= FULL_SCALE_VERTICES:
+        assert sssp["speedup"] >= REQUIRED_SSSP_SPEEDUP, (
+            f"frontier speedup {sssp['speedup']:.2f}x below the "
+            f"{REQUIRED_SSSP_SPEEDUP}x bar"
+        )
+
+
+def test_engine_hotpath(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_json(report)
+    publish_table(report)
+    check_report(report)
+
+
+def main() -> None:
+    report = build_report()
+    path = write_json(report)
+    publish_table(report)
+    check_report(report)
+    sssp = report["workloads"]["sssp_grid"]
+    print(f"wrote {path}")
+    print(
+        f"sssp_grid: {sssp['speedup']:.2f}x speedup "
+        f"({sssp['scan']['wall_seconds']:.3f}s scan -> "
+        f"{sssp['frontier']['wall_seconds']:.3f}s frontier)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ from repro.bench.workloads import (
     bench_scale,
     capture_seconds,
     captured_store,
+    frontier_sssp_graph,
     ml20_for,
     web_graph_for,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "bench_scale",
     "capture_seconds",
     "captured_store",
+    "frontier_sssp_graph",
     "ml20_for",
     "web_graph_for",
 ]

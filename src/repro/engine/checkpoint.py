@@ -7,6 +7,14 @@ simulated engine reproduces the mechanism: a :class:`CheckpointedEngine`
 writes a snapshot every ``interval`` supersteps, and :func:`resume` restarts
 a program from the latest snapshot in a directory.
 
+The checkpointed engine no longer re-drives its own copy of the superstep
+loop: :meth:`PregelEngine.run` exposes an ``_after_barrier`` hook (called at
+every barrier, before termination checks — Pregel's snapshot point) and a
+``_restore`` parameter, so checkpointed runs get frontier scheduling and the
+bucketed message path for free. Snapshots stay in the original flat format
+(``halted`` dict, ``target -> messages`` inbox), so checkpoints written by
+the seed engine remain loadable.
+
 Checkpoints capture *engine* state only. Provenance wrappers keep their own
 state (transient tables, watermarks), so provenance-aware runs should be
 restarted from superstep 0 instead — exactly Giraph's guidance for stateful
@@ -17,14 +25,12 @@ from __future__ import annotations
 
 import os
 import pickle
-import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.engine.config import EngineConfig
 from repro.engine.engine import PregelEngine, RunResult
-from repro.engine.metrics import RunMetrics, SuperstepMetrics
-from repro.engine.vertex import VertexContext, VertexProgram
+from repro.engine.vertex import VertexProgram
 from repro.errors import EngineError
 from repro.graph.digraph import DiGraph
 
@@ -95,98 +101,30 @@ class CheckpointedEngine(PregelEngine):
         max_supersteps: Optional[int] = None,
         _restore: Optional[Checkpoint] = None,
     ) -> RunResult:
-        """Execute with checkpointing; optionally restore from a snapshot.
-
-        The implementation re-drives the superstep loop rather than
-        subclass-hooking the parent (the loop is small and the barrier
-        behavior must be exact).
-        """
-        from repro.engine.aggregators import AggregatorRegistry
-
-        if isinstance(program, object) and hasattr(program, "compiled"):
+        """Execute with checkpointing; optionally restore from a snapshot."""
+        if hasattr(program, "compiled"):
             raise EngineError(
                 "checkpointing captures engine state only; restart "
                 "provenance-wrapped programs from superstep 0 instead"
             )
-        limit = max_supersteps or self.config.max_supersteps
-        graph = self.graph
+        return super().run(program, max_supersteps, _restore=_restore)
 
-        if _restore is None:
-            values = {v: program.initial_value(v, graph) for v in graph.vertices()}
-            halted = {v: False for v in graph.vertices()}
-            inbox: Dict[Any, List[Any]] = {}
-            first_superstep = 0
-        else:
-            values = dict(_restore.values)
-            halted = dict(_restore.halted)
-            inbox = {k: list(v) for k, v in _restore.inbox.items()}
-            first_superstep = _restore.superstep
-        self._outbox = {}
-        self._edge_overlay = (
-            {k: dict(v) for k, v in _restore.edge_overlay.items()}
-            if _restore
-            else {}
-        )
-        self.aggregators = AggregatorRegistry(program.aggregators())
-        self._combiner = program.combiner() if self.config.use_combiner else None
-
-        ctx = VertexContext(self)
-        metrics = RunMetrics()
-        halt_reason = "max_supersteps"
-        run_start = time.perf_counter()
-        no_messages: List[Any] = []
-
-        for superstep in range(first_superstep, limit):
-            step = SuperstepMetrics(superstep)
-            self._current_step = step
-            step_start = time.perf_counter()
-            computed_any = False
-            for vertex_id in graph.vertices():
-                messages = inbox.get(vertex_id)
-                if halted[vertex_id] and not messages:
-                    continue
-                computed_any = True
-                step.active_vertices += 1
-                ctx._bind(vertex_id, superstep, values[vertex_id])
-                program.compute(ctx, messages or no_messages)
-                if ctx._value_changed:
-                    values[vertex_id] = ctx._value
-                halted[vertex_id] = ctx._halted
-            step.wall_seconds = time.perf_counter() - step_start
-            metrics.supersteps.append(step)
-
-            inbox = self._outbox
-            self._outbox = {}
-            self.aggregators.barrier()
-
-            next_superstep = superstep + 1
-            if next_superstep % self.interval == 0:
-                self._write_checkpoint(
-                    next_superstep, values, halted, inbox
-                )
-
-            if not computed_any and not inbox:
-                halt_reason = "no_active_vertices"
-                break
-            if program.master_halt(self.aggregators, superstep):
-                halt_reason = "master_halt"
-                break
-            if not inbox and all(halted.values()):
-                halt_reason = "converged"
-                break
-
-        metrics.wall_seconds = time.perf_counter() - run_start
-        return RunResult(
-            values=values,
-            metrics=metrics,
-            aggregators=self.aggregators.values(),
-            edge_values={
-                (u, v): value
-                for u, targets in self._edge_overlay.items()
-                for v, value in targets.items()
-            },
-            halt_reason=halt_reason,
-        )
+    def _after_barrier(
+        self,
+        next_superstep: int,
+        values: Dict[Any, Any],
+        active: Set[Any],
+        inboxes: List[Dict[Any, List[Any]]],
+    ) -> None:
+        if next_superstep % self.interval != 0:
+            return
+        # Flatten to the snapshot format: worker buckets are disjoint by
+        # construction, and halt flags are the complement of the active set.
+        halted = {v: v not in active for v in self.graph.vertices()}
+        inbox: Dict[Any, List[Any]] = {}
+        for box in inboxes:
+            inbox.update(box)
+        self._write_checkpoint(next_superstep, values, halted, inbox)
 
     def _write_checkpoint(
         self,

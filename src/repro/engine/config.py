@@ -23,6 +23,12 @@ class EngineConfig:
         deterministic_delivery: sort each vertex's inbox by sender order
             before compute. All library analytics are order-insensitive, but
             tests that compare evaluation modes keep this on.
+        frontier_scheduling: iterate only the active frontier (vertices that
+            have not halted, plus vertices with pending messages) each
+            superstep instead of scanning the whole vertex set. Scheduled
+            vertices run in canonical vertex order, so results are
+            byte-identical to a full scan; turn off only to measure the
+            scheduler itself or to reproduce the seed engine's behavior.
     """
 
     num_workers: int = 4
@@ -30,6 +36,7 @@ class EngineConfig:
     track_message_bytes: bool = False
     use_combiner: bool = True
     deterministic_delivery: bool = False
+    frontier_scheduling: bool = True
 
     def validate(self) -> None:
         if self.num_workers < 1:

@@ -23,6 +23,12 @@ class SuperstepMetrics:
     cross_worker_messages: int = 0
     message_bytes: int = 0
     wall_seconds: float = 0.0
+    # Scheduler counters: how many vertices the superstep scheduled
+    # (frontier) and how many it never had to look at. Under full-scan
+    # scheduling, skipped vertices were still iterated — the gap between
+    # the two modes' wall time for the same counters is the scan overhead.
+    frontier_size: int = 0
+    skipped_vertices: int = 0
 
 
 @dataclass
@@ -53,6 +59,20 @@ class RunMetrics:
     def total_cross_worker_messages(self) -> int:
         return sum(s.cross_worker_messages for s in self.supersteps)
 
+    @property
+    def total_frontier_size(self) -> int:
+        """Total vertices scheduled across all supersteps."""
+        return sum(s.frontier_size for s in self.supersteps)
+
+    @property
+    def total_skipped_vertices(self) -> int:
+        """Total vertices the scheduler never had to execute."""
+        return sum(s.skipped_vertices for s in self.supersteps)
+
+    @property
+    def max_frontier_size(self) -> int:
+        return max((s.frontier_size for s in self.supersteps), default=0)
+
     def summary(self) -> Dict[str, Any]:
         return {
             "supersteps": self.num_supersteps,
@@ -61,4 +81,6 @@ class RunMetrics:
             "messages": self.total_messages,
             "message_bytes": self.total_message_bytes,
             "cross_worker_messages": self.total_cross_worker_messages,
+            "frontier_vertices": self.total_frontier_size,
+            "skipped_vertices": self.total_skipped_vertices,
         }

@@ -1,0 +1,55 @@
+"""Cheap total-order keys for deterministic message delivery.
+
+The seed engine sorted each inbox with ``key=repr`` — correct but slow:
+``repr`` re-renders the whole message once per delivery, and for provenance
+envelopes that means walking every piggybacked table row. Delivery order
+only needs to be *deterministic and worker-count independent*, so a far
+cheaper key suffices: a type tag, then the value itself (numbers compare
+numerically, strings lexicographically, everything else falls back to
+``repr`` grouped by type name so mixed inboxes never compare incomparable
+values). Envelopes precompute and cache their key once per message — see
+:class:`repro.runtime.envelope.Envelope` — so sorting an inbox never
+touches payload contents twice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: (type tag, text component, numeric component) — always comparable.
+OrderKey = Tuple[str, str, float]
+
+#: Padding key for messages without a second (payload) component.
+EMPTY_KEY: OrderKey = ("", "", 0.0)
+
+
+def ordering_key(value: Any) -> OrderKey:
+    """Deterministic total-order key for one message component.
+
+    Ties (two values mapping to the same key) are harmless: ``list.sort``
+    is stable, and the pre-sort order — send order — is itself
+    deterministic and worker-count independent.
+    """
+    if isinstance(value, bool):
+        return ("bool", "", float(value))
+    if isinstance(value, (int, float)):
+        try:
+            return ("num", "", float(value))
+        except OverflowError:  # ints beyond float range
+            return ("num*", repr(value), 0.0)
+    if isinstance(value, str):
+        return ("str", value, 0.0)
+    return ("~" + type(value).__name__, repr(value), 0.0)
+
+
+def delivery_key(message: Any) -> Tuple[OrderKey, OrderKey]:
+    """Sort key the engine applies to an inbox under deterministic delivery.
+
+    Messages that carry a precomputed ``sort_key`` attribute (envelopes:
+    sender id, then payload) use it directly; plain payloads are keyed on
+    their own value.
+    """
+    key = getattr(message, "sort_key", None)
+    if key is not None:
+        return key
+    return (ordering_key(message), EMPTY_KEY)

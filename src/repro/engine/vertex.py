@@ -113,8 +113,11 @@ class VertexContext:
         self._engine._send(self.vertex_id, target, message)
 
     def send_to_all(self, message: Any) -> None:
-        for target, _value in self.out_edges():
-            self._engine._send(self.vertex_id, target, message)
+        engine = self._engine
+        send = engine._send
+        me = self.vertex_id
+        for target, _value in engine._edges_of(me):
+            send(me, target, message)
 
     # -- control -----------------------------------------------------------
     def vote_to_halt(self) -> None:

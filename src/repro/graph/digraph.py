@@ -38,6 +38,9 @@ class DiGraph:
         self._out_index: Dict[VertexId, Dict[VertexId, int]] = {}
         self._in: Dict[VertexId, List[VertexId]] = {}
         self._num_edges = 0
+        # Cached vertex -> canonical position map; rebuilt lazily whenever
+        # the vertex count changed since it was last materialized.
+        self._order_cache: Optional[Dict[VertexId, int]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -108,6 +111,32 @@ class DiGraph:
             return self._out[v]
         except KeyError:
             raise GraphError(f"unknown vertex {v!r}") from None
+
+    def out_edges_map(self) -> Dict[VertexId, List[Tuple[VertexId, Any]]]:
+        """The live ``vertex -> out-edge-list`` adjacency mapping.
+
+        Engine hot loops grab this once per run and index it directly,
+        skipping the per-call method dispatch and error translation of
+        :meth:`out_edges` for the overlay-free common case. Callers must
+        treat the mapping and its lists as read-only.
+        """
+        return self._out
+
+    def vertex_order(self) -> Dict[VertexId, int]:
+        """Cached ``vertex -> canonical position`` map (insertion order).
+
+        The engine's frontier scheduler sorts each superstep's active set
+        with this key, so a partial frontier is computed in exactly the
+        order a full scan over :meth:`vertices` would produce — the
+        property that keeps frontier-scheduled runs byte-identical to
+        full scans. Vertices are never removed, so a stale cache is
+        detected by a simple length check.
+        """
+        order = self._order_cache
+        if order is None or len(order) != len(self._out):
+            order = {v: i for i, v in enumerate(self._out)}
+            self._order_cache = order
+        return order
 
     def out_neighbors(self, v: VertexId) -> List[VertexId]:
         return [t for t, _ in self.out_edges(v)]

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.engine.ordering import OrderKey, ordering_key
+
 Row = Tuple[Any, ...]
 
 
 class Envelope:
     """``(sender, payload, piggybacked tables)``."""
 
-    __slots__ = ("sender", "payload", "tables")
+    __slots__ = ("sender", "payload", "tables", "_sort_key")
 
     def __init__(
         self,
@@ -28,6 +30,22 @@ class Envelope:
         self.sender = sender
         self.payload = payload
         self.tables = tables
+        self._sort_key: Optional[Tuple[OrderKey, OrderKey]] = None
+
+    @property
+    def sort_key(self) -> Tuple[OrderKey, OrderKey]:
+        """Deterministic delivery key: sender id, then payload.
+
+        Computed lazily (runs without ``deterministic_delivery`` never pay
+        for it) and cached, so sorting an inbox keys each envelope once —
+        unlike the seed's ``sort(key=repr)``, it never renders the
+        piggybacked tables.
+        """
+        key = self._sort_key
+        if key is None:
+            key = (ordering_key(self.sender), ordering_key(self.payload))
+            self._sort_key = key
+        return key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         n = sum(len(rows) for rows in self.tables.values()) if self.tables else 0

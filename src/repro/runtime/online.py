@@ -27,6 +27,7 @@ persisted — capture *is* online evaluation of the capture query (Figure 1a).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analytics.base import Analytic
@@ -49,14 +50,24 @@ from repro.runtime.results import OnlineRunResult, QueryResult
 
 class RecordingContext:
     """Proxy context handed to the analytic: buffers sends, observes
-    value/edge updates, delegates everything else to the real context."""
+    value/edge updates, delegates everything else to the real context.
+
+    One recorder is reused across all compute calls of a run (rebound per
+    vertex via :meth:`_rebind`) to keep the capture hot path allocation-free,
+    mirroring how the engine reuses its :class:`VertexContext`.
+    """
 
     __slots__ = ("_ctx", "sends", "edge_updates")
 
-    def __init__(self, ctx: VertexContext) -> None:
+    def __init__(self, ctx: Optional[VertexContext] = None) -> None:
         self._ctx = ctx
         self.sends: List[Tuple[Any, Any]] = []
         self.edge_updates: List[Tuple[Any, Any]] = []
+
+    def _rebind(self, ctx: VertexContext) -> None:
+        self._ctx = ctx
+        self.sends = []
+        self.edge_updates = []
 
     # -- intercepted -------------------------------------------------------
     def send(self, target: Any, message: Any) -> None:
@@ -199,6 +210,12 @@ class OnlineQueryProgram(VertexProgram):
         # per-superstep partition index (measures the value of rows_at).
         self.ship_full_tables = ship_full_tables
         self.timed_index = timed_index
+        if timed_index:
+            self._add_local = self.db.local.add_timed
+        else:
+            local_add = self.db.local.add
+            self._add_local = lambda rel, vertex, row, _t: local_add(rel, vertex, row)
+        self._recorder = RecordingContext()
         self.shipped_tuples = 0
         self._last_active: Dict[Any, int] = {}
         # vertex -> target -> relation -> shipped watermark
@@ -239,10 +256,7 @@ class OnlineQueryProgram(VertexProgram):
         db = self.db
         db.begin_vertex(x)
 
-        add_local = (
-            db.local.add_timed if self.timed_index else
-            (lambda rel, vertex, row, _t: db.local.add(rel, vertex, row))
-        )
+        add_local = self._add_local
         payloads: List[Any] = []
         if messages:
             for env in messages:
@@ -258,7 +272,8 @@ class OnlineQueryProgram(VertexProgram):
                     for rel, rows in env.tables.items():
                         db.merge_remote(x, env.sender, rel, rows)
 
-        recorder = RecordingContext(ctx)
+        recorder = self._recorder
+        recorder._rebind(ctx)
         self.inner.compute(recorder, payloads)
 
         query_start = time.perf_counter()
@@ -364,13 +379,9 @@ def run_online(
     )
     wrapper.run_setup()
 
-    engine_config = config or EngineConfig()
-    engine_config = EngineConfig(
-        num_workers=engine_config.num_workers,
-        max_supersteps=engine_config.max_supersteps,
-        track_message_bytes=engine_config.track_message_bytes,
+    engine_config = replace(
+        config or EngineConfig(),
         use_combiner=False,  # envelopes carry senders and tables
-        deterministic_delivery=engine_config.deterministic_delivery,
     )
     engine = PregelEngine(graph, config=engine_config)
     run = engine.run(wrapper, max_supersteps=max_supersteps)

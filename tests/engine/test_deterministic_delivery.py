@@ -1,0 +1,137 @@
+"""Deterministic delivery with the precomputed envelope sort key.
+
+The seed engine sorted each inbox with ``key=repr``; the engine now keys on
+``(sender id, payload)`` carried by :class:`Envelope` (precomputed, cached)
+with a cheap scalar key for plain payloads. These tests prove the switch
+changes no results: analytics are delivery-order insensitive (same values
+with and without sorting), sorted order is deterministic and worker-count
+independent, and provenance capture is unaffected.
+"""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine
+from repro.engine.ordering import delivery_key, ordering_key
+from repro.graph.generators import web_graph, with_random_weights
+from repro.runtime.envelope import Envelope
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(150, avg_degree=5, target_diameter=8, seed=17), seed=17
+    )
+
+
+def run_with(graph, make_program, **config_kwargs):
+    config = EngineConfig(use_combiner=False, **config_kwargs)
+    return PregelEngine(graph, config=config).run(make_program())
+
+
+class TestResultsUnchanged:
+    def test_sssp_sorted_vs_unsorted_delivery(self, wgraph):
+        make_program = lambda: SSSP(source=0).make_program()
+        plain = run_with(wgraph, make_program)
+        sorted_run = run_with(
+            wgraph, make_program, deterministic_delivery=True
+        )
+        # min() is order-insensitive: distances match bitwise
+        assert sorted_run.values == plain.values
+        assert sorted_run.num_supersteps == plain.num_supersteps
+        assert (
+            sorted_run.metrics.total_messages == plain.metrics.total_messages
+        )
+
+    def test_pagerank_sorted_vs_unsorted_delivery(self, wgraph):
+        make_program = lambda: PageRank(num_supersteps=10).make_program()
+        plain = run_with(wgraph, make_program)
+        sorted_run = run_with(
+            wgraph, make_program, deterministic_delivery=True
+        )
+        # sorting reorders the float sums, so ranks agree to rounding only
+        # (exactly as with the seed's repr-keyed sort)
+        for v, rank in plain.values.items():
+            assert sorted_run.values[v] == pytest.approx(rank, rel=1e-12)
+        assert sorted_run.num_supersteps == plain.num_supersteps
+        assert (
+            sorted_run.metrics.total_messages == plain.metrics.total_messages
+        )
+
+    @pytest.mark.parametrize("workers", [1, 3, 7])
+    def test_sorted_delivery_worker_invariant(self, wgraph, workers):
+        one = run_with(
+            wgraph,
+            lambda: PageRank(num_supersteps=10).make_program(),
+            deterministic_delivery=True,
+            num_workers=1,
+        )
+        many = run_with(
+            wgraph,
+            lambda: PageRank(num_supersteps=10).make_program(),
+            deterministic_delivery=True,
+            num_workers=workers,
+        )
+        assert one.values == many.values
+
+    @pytest.mark.parametrize("deterministic", [False, True])
+    def test_capture_unaffected(self, wgraph, deterministic):
+        """Envelope-carrying capture runs agree regardless of sorting."""
+        reference = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+        )
+        run = run_online(
+            wgraph,
+            SSSP(source=0),
+            Q.CAPTURE_FULL_QUERY,
+            capture=True,
+            config=EngineConfig(deterministic_delivery=deterministic),
+        )
+        assert run.analytic.values == reference.analytic.values
+        assert run.store.num_rows == reference.store.num_rows
+        for relation in reference.store.relations():
+            assert set(run.store.rows(relation)) == set(
+                reference.store.rows(relation)
+            )
+
+
+class TestSortKey:
+    def test_envelopes_sort_by_sender_then_payload(self):
+        inbox = [
+            Envelope(5, 0.1),
+            Envelope(2, 9.0),
+            Envelope(2, 1.0),
+            Envelope(11, -3.0),
+        ]
+        inbox.sort(key=delivery_key)
+        assert [(e.sender, e.payload) for e in inbox] == [
+            (2, 1.0), (2, 9.0), (5, 0.1), (11, -3.0),
+        ]
+
+    def test_key_is_cached(self):
+        env = Envelope("a", (1, 2))
+        first = env.sort_key
+        assert env.sort_key is first
+
+    def test_plain_payload_keys(self):
+        msgs = [3.5, 1, 2.25, 0]
+        msgs.sort(key=delivery_key)
+        assert msgs == [0, 1, 2.25, 3.5]
+
+    def test_mixed_types_are_orderable(self):
+        # never raises, orders by type group first
+        msgs = ["b", 2, ("t",), "a", 1.5, Envelope(1, "x")]
+        msgs.sort(key=delivery_key)
+        nums = [m for m in msgs if isinstance(m, (int, float))]
+        assert nums == [1.5, 2]
+
+    def test_key_stability_is_deterministic(self):
+        keys = [ordering_key(v) for v in (True, 3, "3", 3.0, (3,), None)]
+        assert keys == [ordering_key(v) for v in (True, 3, "3", 3.0, (3,), None)]
+        # numbers share a tag and order numerically
+        assert ordering_key(2) < ordering_key(10)
+        assert ordering_key("10") < ordering_key("2")

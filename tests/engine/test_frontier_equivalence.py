@@ -1,0 +1,209 @@
+"""Frontier-scheduled runs must be indistinguishable from full scans.
+
+The frontier scheduler visits only awake-or-messaged vertices in canonical
+vertex order; a full scan visits every vertex and skips the idle ones. The
+two must agree on *everything* an engine run produces — values, aggregators,
+halt reason, superstep count, message counters — and, for provenance-aware
+runs, on the captured store contents, across seeded-random graphs and all
+the paper's analytics (property-style: many seeds, one invariant).
+"""
+
+import random
+
+import pytest
+
+from repro.analytics.kcore import KCore
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.analytics.wcc import WCC
+from repro.core import queries as Q
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine, run_program
+from repro.engine.vertex import FunctionProgram, VertexProgram
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    random_graph,
+    web_graph,
+    with_random_weights,
+)
+from repro.runtime.online import run_online
+
+
+def random_weighted_graph(seed: int) -> DiGraph:
+    """Seeded random graph with isolated vertices and random weights."""
+    rng = random.Random(seed)
+    n = rng.randint(8, 60)
+    g = random_graph(n, num_edges=rng.randint(n, 4 * n), seed=seed)
+    # a few extra isolated vertices exercise the never-messaged path
+    for v in range(n, n + rng.randint(0, 4)):
+        g.add_vertex(v)
+    return with_random_weights(g, seed=seed)
+
+
+def assert_equivalent(graph: DiGraph, make_program, num_workers: int = 4):
+    """Run frontier vs full scan and compare every observable output."""
+    scan = PregelEngine(
+        graph,
+        config=EngineConfig(
+            num_workers=num_workers, frontier_scheduling=False
+        ),
+    ).run(make_program())
+    frontier = PregelEngine(
+        graph,
+        config=EngineConfig(
+            num_workers=num_workers, frontier_scheduling=True
+        ),
+    ).run(make_program())
+    assert frontier.values == scan.values
+    assert frontier.aggregators == scan.aggregators
+    assert frontier.halt_reason == scan.halt_reason
+    assert frontier.edge_values == scan.edge_values
+    assert frontier.num_supersteps == scan.num_supersteps
+    fm, sm = frontier.metrics, scan.metrics
+    assert fm.total_messages == sm.total_messages
+    assert fm.total_active_vertices == sm.total_active_vertices
+    assert fm.total_cross_worker_messages == sm.total_cross_worker_messages
+    # the frontier scheduler executes exactly the vertices the scan did
+    for f_step, s_step in zip(fm.supersteps, sm.supersteps):
+        assert f_step.active_vertices == s_step.active_vertices
+        assert f_step.frontier_size == s_step.frontier_size
+    return frontier, scan
+
+
+ANALYTICS = {
+    "pagerank": lambda: PageRank(num_supersteps=12).make_program(),
+    "sssp": lambda: SSSP(source=0).make_program(),
+    "wcc": lambda: WCC().make_program(),
+    "kcore": lambda: KCore().make_program(),
+}
+
+
+@pytest.mark.parametrize("analytic", sorted(ANALYTICS))
+@pytest.mark.parametrize("seed", [1, 7, 42])
+class TestAnalyticEquivalence:
+    def test_random_graphs(self, analytic, seed):
+        assert_equivalent(random_weighted_graph(seed), ANALYTICS[analytic])
+
+    def test_web_graphs(self, analytic, seed):
+        g = with_random_weights(
+            web_graph(120, avg_degree=5, target_diameter=8, seed=seed),
+            seed=seed,
+        )
+        assert_equivalent(g, ANALYTICS[analytic])
+
+
+class TestSchedulerSemantics:
+    def test_frontier_shrinks_on_sssp_tail(self):
+        """SSSP's long tail must actually skip vertices (the perf claim)."""
+        g = with_random_weights(
+            web_graph(300, avg_degree=4, target_diameter=12, seed=3), seed=3
+        )
+        result = run_program(g, SSSP(source=0).make_program())
+        assert result.metrics.total_skipped_vertices > 0
+        assert any(
+            s.frontier_size < g.num_vertices
+            for s in result.metrics.supersteps
+        )
+
+    def test_wakeup_across_many_idle_supersteps(self):
+        """A halted vertex skipped for many supersteps wakes correctly."""
+        computes = []
+
+        def fn(ctx, msgs):
+            computes.append((ctx.vertex_id, ctx.superstep))
+            if ctx.vertex_id == 0 and ctx.superstep < 5:
+                ctx.send(0, "again")
+                if ctx.superstep == 4:
+                    ctx.send(1, "wake")
+            ctx.vote_to_halt()
+
+        g = DiGraph()
+        g.add_edge(0, 1)
+        run_program(g, FunctionProgram(fn))
+        assert (1, 5) in computes
+        assert not any(v == 1 and 0 < s < 5 for v, s in computes)
+
+    def test_mutating_messages_does_not_corrupt_siblings(self):
+        """The shared no-messages sentinel must be immune to mutation."""
+
+        class Mutator(VertexProgram):
+            def compute(self, ctx, messages):
+                if isinstance(messages, list):
+                    messages.append("junk")  # hostile program
+                ctx.set_value(list(messages))
+                ctx.vote_to_halt()
+
+        g = DiGraph()
+        for v in range(4):
+            g.add_vertex(v)
+        result = run_program(g, Mutator())
+        # a mutable shared sentinel would leak "junk" into later vertices
+        assert all(value == [] for value in result.values.values())
+
+    def test_empty_graph(self):
+        result = run_program(DiGraph(), FunctionProgram(lambda c, m: None))
+        assert result.halt_reason == "no_active_vertices"
+        assert result.values == {}
+
+
+class TestCaptureEquivalence:
+    """Provenance capture must be identical under both schedulers."""
+
+    @staticmethod
+    def store_contents(store):
+        return {
+            relation: {
+                vertex: frozenset(store.partition(relation, vertex))
+                for vertex in store.vertices(relation)
+            }
+            for relation in store.relations()
+        }
+
+    @pytest.mark.parametrize(
+        "make_analytic",
+        [
+            lambda: PageRank(num_supersteps=8),
+            lambda: SSSP(source=0),
+            lambda: WCC(),
+        ],
+        ids=["pagerank", "sssp", "wcc"],
+    )
+    def test_full_capture_stores_match(self, make_analytic):
+        g = with_random_weights(
+            web_graph(80, avg_degree=4, target_diameter=6, seed=11), seed=11
+        )
+        runs = {}
+        for frontier in (False, True):
+            runs[frontier] = run_online(
+                g,
+                make_analytic(),
+                Q.CAPTURE_FULL_QUERY,
+                capture=True,
+                config=EngineConfig(frontier_scheduling=frontier),
+            )
+        scan, frontier = runs[False], runs[True]
+        assert self.store_contents(frontier.store) == self.store_contents(
+            scan.store
+        )
+        assert frontier.store.num_rows == scan.store.num_rows
+        assert frontier.store.max_superstep == scan.store.max_superstep
+        assert frontier.analytic.values == scan.analytic.values
+        assert frontier.query.derivations == scan.query.derivations
+
+    def test_custom_capture_stores_match(self):
+        g = with_random_weights(
+            web_graph(80, avg_degree=4, target_diameter=6, seed=13), seed=13
+        )
+        runs = {}
+        for frontier in (False, True):
+            runs[frontier] = run_online(
+                g,
+                SSSP(source=0),
+                Q.CAPTURE_FWD_LINEAGE_QUERY,
+                params={"source": 0},
+                capture=True,
+                config=EngineConfig(frontier_scheduling=frontier),
+            )
+        assert self.store_contents(runs[True].store) == self.store_contents(
+            runs[False].store
+        )

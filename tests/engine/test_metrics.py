@@ -35,8 +35,20 @@ class TestRunMetrics:
         summary = metrics.summary()
         assert set(summary) == {
             "supersteps", "wall_seconds", "vertex_executions", "messages",
-            "message_bytes", "cross_worker_messages",
+            "message_bytes", "cross_worker_messages", "frontier_vertices",
+            "skipped_vertices",
         }
+
+    def test_frontier_totals(self):
+        metrics = RunMetrics()
+        for i, (frontier, skipped) in enumerate([(10, 0), (2, 8)]):
+            step = SuperstepMetrics(i)
+            step.frontier_size = frontier
+            step.skipped_vertices = skipped
+            metrics.supersteps.append(step)
+        assert metrics.total_frontier_size == 12
+        assert metrics.total_skipped_vertices == 8
+        assert metrics.max_frontier_size == 10
 
 
 class TestEngineCounting:
@@ -50,6 +62,9 @@ class TestEngineCounting:
         steps = result.metrics.supersteps
         assert steps[0].active_vertices == 4  # everyone at superstep 0
         assert steps[1].active_vertices == 1  # only vertex 1 got a message
+        # scheduler counters mirror the executed/idle split
+        assert steps[0].frontier_size == 4 and steps[0].skipped_vertices == 0
+        assert steps[1].frontier_size == 1 and steps[1].skipped_vertices == 3
 
     def test_wall_seconds_accumulate(self):
         result = run_program(
