@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Any, Iterable, Sequence
 
+from repro.obs.log import _LazyStdoutHandler, get_logger
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..",
                            "benchmarks", "results")
+
+# Benchmark tables go through the ``repro.bench`` logger instead of bare
+# print, but keep their current always-visible, bare-text behavior: a
+# dedicated message-only console handler, no propagation to the root
+# handler the CLI may have configured.
+logger = get_logger("bench")
+if not logger.handlers:
+    _console = _LazyStdoutHandler()
+    _console.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(_console)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
 
 
 def format_cell(value: Any) -> str:
@@ -50,8 +65,8 @@ def results_dir() -> str:
 
 
 def publish(name: str, table: str) -> None:
-    """Print the table and persist it under benchmarks/results/."""
-    print("\n" + table + "\n")
+    """Log the table and persist it under benchmarks/results/."""
+    logger.info("\n%s\n", table)
     path = os.path.join(results_dir(), f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(table + "\n")

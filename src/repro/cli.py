@@ -8,21 +8,30 @@ Subcommands mirror the Ariadne workflows:
 * ``capture``  — run with a capture query, seal the store to a directory;
 * ``query``    — evaluate a query offline (layered/naive) over a sealed store;
 * ``inspect``  — print a vertex's provenance history from a sealed store;
+* ``stats``    — summarize (or convert/validate) a trace file;
 * ``datasets`` — list the Table 2 dataset registry.
+
+Every workload command accepts ``--trace OUT`` to record a span trace of
+the run (``--trace-format`` picks JSONL, Chrome ``trace_event`` JSON, or a
+Prometheus text dump), plus ``-v``/``--quiet`` to control the ``repro``
+logger hierarchy.
 
 Examples::
 
     python -m repro run --analytic pagerank --dataset IN-04
     python -m repro apt --analytic sssp --dataset UK-02 --eps 0.1
-    python -m repro capture --analytic sssp --dataset IN-04 --out /tmp/prov
+    python -m repro capture --analytic sssp --dataset IN-04 --out /tmp/prov \\
+        --trace /tmp/capture.jsonl
     python -m repro query --store /tmp/prov --query-file trace.pql \\
         --param alpha=5 --param sigma=12 --mode layered
+    python -m repro stats /tmp/capture.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -36,6 +45,21 @@ from repro.errors import ReproError
 from repro.graph.datasets import WEB_DATASET_ORDER, WEB_DATASETS, load_web_dataset
 from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
+from repro.obs import (
+    NULL_TRACER,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    configure_logging,
+    get_registry,
+    read_trace,
+    render_summary,
+    set_tracer,
+    summarize,
+    to_chrome_trace,
+    trace_to_prometheus,
+    validate_events,
+)
 from repro.provenance.spill import SpillManager, rebuild_store
 from repro.runtime.offline import run_layered, run_naive
 
@@ -54,6 +78,8 @@ NAMED_QUERIES: Dict[str, str] = {
     "query11": Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
     "query12": Q.BACKWARD_LINEAGE_CUSTOM_QUERY,
 }
+
+TRACE_FORMATS = ("jsonl", "chrome", "prom")
 
 
 def _parse_param(text: str) -> Any:
@@ -110,6 +136,51 @@ def _print_query_result(result: Any) -> None:
         print(f"  {relation}: {result.count(relation)} rows")
 
 
+def _metrics_line(metrics: Any) -> str:
+    """One-line work summary of a run's :class:`RunMetrics`."""
+    return (
+        f"metrics:     supersteps={metrics.num_supersteps} "
+        f"vertex_executions={metrics.total_active_vertices} "
+        f"messages={metrics.total_messages} "
+        f"frontier_skip_ratio={metrics.frontier_skip_ratio:.2f}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# trace lifecycle
+# ---------------------------------------------------------------------------
+def _start_trace(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
+    """Install a process-wide tracer when ``--trace OUT`` was given.
+
+    JSONL streams straight to the output file; chrome/prom buffer events
+    in memory and convert on exit (both are whole-trace formats).
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    fmt = getattr(args, "trace_format", "jsonl") or "jsonl"
+    sink = JsonlSink(path) if fmt == "jsonl" else InMemorySink()
+    tracer = Tracer(sink, registry=get_registry())
+    set_tracer(tracer)
+    return {"tracer": tracer, "sink": sink, "fmt": fmt, "path": path}
+
+
+def _finish_trace(ctx: Optional[Dict[str, Any]]) -> None:
+    if ctx is None:
+        return
+    ctx["tracer"].close()
+    set_tracer(NULL_TRACER)
+    fmt, path = ctx["fmt"], ctx["path"]
+    if fmt == "chrome":
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome_trace(ctx["sink"].events), fh, indent=1,
+                      sort_keys=True)
+    elif fmt == "prom":
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(get_registry().to_prometheus())
+    print(f"trace ({fmt}) written to {path}", file=sys.stderr)
+
+
 # ---------------------------------------------------------------------------
 # subcommand implementations
 # ---------------------------------------------------------------------------
@@ -123,6 +194,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"graph:       |V|={graph.num_vertices} |E|={graph.num_edges}")
     print(f"supersteps:  {result.num_supersteps} ({result.halt_reason})")
     print(f"messages:    {result.metrics.total_messages}")
+    print(_metrics_line(result.metrics))
     print(f"wall:        {elapsed:.3f}s")
     return 0
 
@@ -133,6 +205,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     result = ariadne.query_online(_query_text(args), params=_params(args.param))
     print(f"online run: {result.analytic.num_supersteps} supersteps, "
           f"{result.query.wall_seconds:.3f}s")
+    print(_metrics_line(result.analytic.metrics))
     _print_query_result(result.query)
     return 0
 
@@ -171,6 +244,33 @@ def cmd_capture(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stratum_timings(args: argparse.Namespace,
+                           timings: Dict[int, float]) -> None:
+    """With ``-v``, close the query output with the compilation report
+    annotated with the observed per-stratum costs (EXPLAIN + timings)."""
+    try:
+        from repro.pql.analysis import compile_query
+        from repro.pql.explain import explain
+        from repro.pql.parser import parse
+        from repro.pql.udf import FunctionRegistry
+
+        program = parse(_query_text(args))
+        params = _params(args.param)
+        if params:
+            program = program.bind(**params)
+        funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
+        compiled = compile_query(program, functions=funcs)
+        print(explain(compiled, timings=timings))
+    except ReproError:
+        # compilation may need UDFs the CLI doesn't know; still show costs
+        total = sum(timings.values()) or 1.0
+        print("observed stratum timings:")
+        for stratum in sorted(timings):
+            seconds = timings[stratum]
+            print(f"  stratum {stratum}: {seconds * 1000:.3f} ms "
+                  f"({seconds / total:.1%} of evaluation)")
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     spill = SpillManager.open(args.store)
     store = rebuild_store(spill)
@@ -187,6 +287,10 @@ def cmd_query(args: argparse.Namespace) -> int:
         for relation in args.show:
             for row in result.rows(relation)[: args.limit]:
                 print(f"  {relation}{row}")
+    if getattr(args, "verbosity", 0):
+        timings = result.stats.get("stratum_seconds") or {}
+        if timings:
+            _print_stratum_timings(args, timings)
     return 0
 
 
@@ -229,6 +333,31 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace_file)
+    if args.validate:
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"trace OK ({len(events)} events)")
+        return 0
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(events), indent=1, sort_keys=True)
+    elif args.format == "prom":
+        text = trace_to_prometheus(events)
+    else:
+        text = render_summary(summarize(events))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':8} {'paper |V|':>12} {'paper |E|':>13} "
           f"{'avg deg':>8} {'avg diam':>9}")
@@ -265,34 +394,62 @@ def _add_query_args(parser: argparse.ArgumentParser) -> None:
                         help="query parameter name=value (repeatable)")
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared logging flags (every subcommand)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("-v", action="count", dest="verbosity", default=0,
+                        help="more log output (-v info, -vv debug)")
+    parent.add_argument("--quiet", action="store_true",
+                        help="errors only")
+    return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    """Shared tracing flags (workload subcommands)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", metavar="OUT",
+                        help="record a span trace of this command to OUT")
+    parent.add_argument("--trace-format", choices=TRACE_FORMATS,
+                        default="jsonl",
+                        help="trace output format (default: jsonl)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ariadne reproduction: provenance for graph analytics",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = _obs_parent()
+    trace = _trace_parent()
 
-    p = sub.add_parser("run", help="run an analytic (baseline)")
+    p = sub.add_parser("run", help="run an analytic (baseline)",
+                       parents=[obs, trace])
     _add_workload_args(p)
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("monitor", help="run with an online query")
+    p = sub.add_parser("monitor", help="run with an online query",
+                       parents=[obs, trace])
     _add_workload_args(p)
     _add_query_args(p)
     p.set_defaults(fn=cmd_monitor)
 
-    p = sub.add_parser("apt", help="approximate-optimization verdict")
+    p = sub.add_parser("apt", help="approximate-optimization verdict",
+                       parents=[obs, trace])
     _add_workload_args(p)
     p.add_argument("--eps", type=float, required=True)
     p.set_defaults(fn=cmd_apt)
 
-    p = sub.add_parser("capture", help="capture provenance to a directory")
+    p = sub.add_parser("capture", help="capture provenance to a directory",
+                       parents=[obs, trace])
     _add_workload_args(p)
     _add_query_args(p)
     p.add_argument("--out", required=True, help="output directory")
     p.set_defaults(fn=cmd_capture)
 
-    p = sub.add_parser("query", help="offline query over a sealed store")
+    p = sub.add_parser("query", help="offline query over a sealed store",
+                       parents=[obs, trace])
     _add_workload_args(p)
     _add_query_args(p)
     p.add_argument("--store", required=True, help="sealed store directory")
@@ -302,23 +459,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(fn=cmd_query)
 
-    p = sub.add_parser("inspect", help="inspect a sealed store")
+    p = sub.add_parser("inspect", help="inspect a sealed store",
+                       parents=[obs])
     p.add_argument("--store", required=True)
     p.add_argument("--vertex", help="vertex id to render (default: summary)")
     p.set_defaults(fn=cmd_inspect)
 
-    p = sub.add_parser("export", help="export a sealed store as JSON lines")
+    p = sub.add_parser("export", help="export a sealed store as JSON lines",
+                       parents=[obs])
     p.add_argument("--store", required=True)
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_export)
 
-    p = sub.add_parser("explain", help="show a query's compilation report")
+    p = sub.add_parser("explain", help="show a query's compilation report",
+                       parents=[obs])
     _add_query_args(p)
     p.add_argument("--verbose", action="store_true",
                    help="show all binding-mode plans")
     p.set_defaults(fn=cmd_explain)
 
-    p = sub.add_parser("datasets", help="list the Table 2 registry")
+    p = sub.add_parser("stats", help="summarize or convert a trace file",
+                       parents=[obs])
+    p.add_argument("trace_file", help="JSONL trace written by --trace")
+    p.add_argument("--format", choices=("text", "chrome", "prom"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.add_argument("--validate", action="store_true",
+                   help="check the trace against the event schema and exit")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("datasets", help="list the Table 2 registry",
+                       parents=[obs])
     p.set_defaults(fn=cmd_datasets)
 
     return parser
@@ -327,11 +498,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "verbosity", 0),
+                      quiet=getattr(args, "quiet", False))
+    trace_ctx = _start_trace(args)
     try:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _finish_trace(trace_ctx)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -33,6 +33,11 @@ from repro.engine.engine import PregelEngine, RunResult
 from repro.engine.vertex import VertexProgram
 from repro.errors import EngineError
 from repro.graph.digraph import DiGraph
+from repro.obs.log import get_logger
+from repro.obs.metrics import BYTES_BUCKETS, get_registry
+from repro.obs.trace import PHASE_CHECKPOINT, get_tracer
+
+logger = get_logger("engine.checkpoint")
 
 
 @dataclass
@@ -142,10 +147,30 @@ class CheckpointedEngine(PregelEngine):
         }
         path = checkpoint_path(self.directory, superstep)
         tmp = path + ".tmp"
-        with open(tmp, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)  # atomic: a crash never leaves a torn file
+        with get_tracer().span(
+            "checkpoint", PHASE_CHECKPOINT, superstep=superstep
+        ) as span:
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            size = os.path.getsize(tmp)
+            os.replace(tmp, path)  # atomic: a crash never leaves a torn file
+            span.set(bytes=size)
         self.checkpoints_written += 1
+        registry = get_registry()
+        registry.counter(
+            "repro_checkpoints_total", "checkpoint snapshots written"
+        ).inc()
+        registry.counter(
+            "repro_checkpoint_bytes_total", "checkpoint bytes written"
+        ).inc(size)
+        registry.histogram(
+            "repro_checkpoint_bytes", "checkpoint snapshot size",
+            boundaries=BYTES_BUCKETS,
+        ).observe(size)
+        logger.debug(
+            "checkpoint at superstep %d: %d bytes -> %s", superstep, size,
+            path,
+        )
 
 
 def resume(

@@ -40,7 +40,18 @@ from repro.engine.vertex import VertexContext, VertexProgram
 from repro.errors import EngineError, GraphError, VertexProgramError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import HashPartitioner, Partitioner
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    PHASE_BARRIER,
+    PHASE_COMPUTE,
+    PHASE_RUN,
+    PHASE_SUPERSTEP,
+    get_tracer,
+)
 from repro.sizemodel import estimate_bytes
+
+logger = get_logger("engine")
 
 #: Immutable empty inbox shared by every message-less ``compute`` call.
 #: A tuple (not a list) so a vertex program that mutates its ``messages``
@@ -197,7 +208,18 @@ class PregelEngine:
 
         ctx = VertexContext(self)
         metrics = RunMetrics()
+        metrics.track_message_bytes = self._track_bytes
         halt_reason = "max_supersteps"
+        # Tracing is resolved once per run; with the null tracer installed
+        # (the default) the per-superstep cost is one flag check.
+        tracer = get_tracer()
+        traced = tracer.enabled
+        if traced:
+            run_span = tracer.span(
+                "run", PHASE_RUN,
+                program=getattr(program, "name", type(program).__name__),
+                vertices=num_vertices, workers=num_workers,
+            )
         run_start = time.perf_counter()
 
         frontier_mode = config.frontier_scheduling
@@ -209,6 +231,13 @@ class PregelEngine:
         for superstep in range(first_superstep, limit):
             step = SuperstepMetrics(superstep)
             self._current_step = step
+            if traced:
+                step_span = tracer.span(
+                    "superstep", PHASE_SUPERSTEP, superstep=superstep
+                )
+                compute_span = tracer.span(
+                    "compute", PHASE_COMPUTE, superstep=superstep
+                )
             step_start = time.perf_counter()
 
             if frontier_mode:
@@ -260,6 +289,14 @@ class PregelEngine:
             computed_any = step.active_vertices > 0
             step.wall_seconds = time.perf_counter() - step_start
             metrics.supersteps.append(step)
+            if traced:
+                compute_span.end(
+                    active_vertices=step.active_vertices,
+                    messages_sent=step.messages_sent,
+                )
+                barrier_span = tracer.span(
+                    "message-barrier", PHASE_BARRIER, superstep=superstep
+                )
 
             # --- barrier: pointer swap per worker ---
             inboxes = self._outboxes
@@ -268,6 +305,14 @@ class PregelEngine:
             has_messages = any(inboxes)
 
             self._after_barrier(superstep + 1, values, active, inboxes)
+
+            if traced:
+                barrier_span.end()
+                step_span.end(
+                    active_vertices=step.active_vertices,
+                    messages_sent=step.messages_sent,
+                    frontier_size=step.frontier_size,
+                )
 
             if not computed_any and not has_messages:
                 halt_reason = "no_active_vertices"
@@ -280,6 +325,17 @@ class PregelEngine:
                 break
 
         metrics.wall_seconds = time.perf_counter() - run_start
+        if traced:
+            run_span.end(
+                supersteps=metrics.num_supersteps, halt_reason=halt_reason
+            )
+        metrics.publish(get_registry())
+        logger.debug(
+            "run %s finished: %d supersteps, %d messages, %.3fs (%s)",
+            getattr(program, "name", type(program).__name__),
+            metrics.num_supersteps, metrics.total_messages,
+            metrics.wall_seconds, halt_reason,
+        )
         return RunResult(
             values=values,
             metrics=metrics,

@@ -1,0 +1,80 @@
+"""The ``repro`` logger hierarchy.
+
+Library code gets its logger via :func:`get_logger` — a child of the
+single ``repro`` root logger, which carries a ``NullHandler`` so the
+library stays silent unless an application configures logging (the
+standard library-logging contract). The CLI calls :func:`configure`
+from ``-v``/``--quiet`` to attach one console handler.
+
+The console handler resolves ``sys.stdout`` at emit time instead of
+capturing it at construction, so pytest's ``capsys`` and output
+redirection see log lines exactly like ``print`` output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any
+
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger("engine")``
+    → ``repro.engine``). Accepts dotted module paths and strips a
+    leading ``repro.`` so ``get_logger(__name__)`` works everywhere."""
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    if name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+class _LazyStdoutHandler(logging.StreamHandler):
+    """StreamHandler that looks up ``sys.stdout`` per record."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+    @property
+    def stream(self) -> Any:
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value: Any) -> None:  # StreamHandler.__init__ sets it
+        pass
+
+
+_CONSOLE: logging.Handler = None  # type: ignore[assignment]
+
+
+def configure(verbosity: int = 0, quiet: bool = False) -> logging.Logger:
+    """Attach one console handler to the ``repro`` logger.
+
+    ``verbosity`` counts ``-v`` flags: 0 → WARNING, 1 → INFO,
+    2+ → DEBUG. ``quiet`` wins and raises the bar to ERROR. Calling
+    again reconfigures the same handler (idempotent across CLI runs in
+    one process, e.g. the test suite).
+    """
+    global _CONSOLE
+    root = logging.getLogger(ROOT)
+    if quiet:
+        level = logging.ERROR
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    if _CONSOLE is None:
+        _CONSOLE = _LazyStdoutHandler()
+        _CONSOLE.setFormatter(
+            logging.Formatter("%(name)s: %(levelname)s: %(message)s")
+        )
+        root.addHandler(_CONSOLE)
+    root.setLevel(level)
+    _CONSOLE.setLevel(level)
+    return root

@@ -1,0 +1,262 @@
+"""Trace sinks and format converters.
+
+A sink receives finished span/instant events as plain dicts from a
+:class:`~repro.obs.trace.Tracer`. Three shapes are supported:
+
+* :class:`InMemorySink` — collects events in a list (tests, converters);
+* :class:`JsonlSink` — appends one JSON object per line, preceded by a
+  ``meta`` header line carrying the schema version and clock info;
+* converters — :func:`to_chrome_trace` produces the Chrome ``trace_event``
+  JSON loadable in ``chrome://tracing`` / Perfetto, and
+  :func:`trace_to_prometheus` folds a trace's spans into a fresh metrics
+  registry and renders the Prometheus text format.
+
+Event schema (version 1)::
+
+    {"type": "meta",    "schema": 1, "clock": "perf_counter_ns",
+     "unit": "us", "program": "repro"}
+    {"type": "span",    "name": str, "cat": str, "id": int,
+     "parent": int|null, "ts": int (us), "dur": int (us), "attrs": {...}}
+    {"type": "instant", "name": str, "cat": str, "ts": int (us),
+     "attrs": {...}}
+
+``ts`` is microseconds on the monotonic clock (``time.perf_counter_ns``),
+the unit Chrome's trace viewer expects; it is meaningful only relative to
+other events of the same trace. :func:`validate_events` checks a decoded
+event stream against this schema and is what CI runs on the benchmark
+smoke trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from repro.errors import ReproError
+
+SCHEMA_VERSION = 1
+
+#: Keys required per event type (value: required keys -> type check).
+_REQUIRED: Dict[str, Dict[str, tuple]] = {
+    "meta": {"schema": (int,), "clock": (str,), "unit": (str,)},
+    "span": {
+        "name": (str,), "cat": (str,), "id": (int,),
+        "ts": (int, float), "dur": (int, float), "attrs": (dict,),
+    },
+    "instant": {
+        "name": (str,), "cat": (str,), "ts": (int, float), "attrs": (dict,),
+    },
+}
+
+
+def meta_event() -> Dict[str, Any]:
+    return {
+        "type": "meta",
+        "schema": SCHEMA_VERSION,
+        "clock": "perf_counter_ns",
+        "unit": "us",
+        "program": "repro",
+    }
+
+
+class InMemorySink:
+    """Collects events in a list."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file (or file-like object)."""
+
+    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_file, str):
+            self._fh: IO[str] = open(path_or_file, "w", encoding="utf-8")
+            self._own = True
+            self.path: Optional[str] = path_or_file
+        else:
+            self._fh = path_or_file
+            self._own = False
+            self.path = getattr(path_or_file, "name", None)
+        self.emit(meta_event())
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True, default=repr))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._own:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Decode a JSONL trace file back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            events.append(event)
+    return events
+
+
+def validate_events(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check events against the schema; returns a list of problems."""
+    problems: List[str] = []
+    seen_meta = False
+    span_ids = set()
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        etype = event.get("type")
+        if etype not in _REQUIRED:
+            problems.append(f"{where}: unknown type {etype!r}")
+            continue
+        for key, types in _REQUIRED[etype].items():
+            if key not in event:
+                problems.append(f"{where} ({etype}): missing key {key!r}")
+            elif not isinstance(event[key], types):
+                problems.append(
+                    f"{where} ({etype}): {key!r} has type "
+                    f"{type(event[key]).__name__}"
+                )
+        if etype == "meta":
+            if seen_meta:
+                problems.append(f"{where}: duplicate meta event")
+            seen_meta = True
+            if event.get("schema") != SCHEMA_VERSION:
+                problems.append(
+                    f"{where}: schema {event.get('schema')!r} != "
+                    f"{SCHEMA_VERSION}"
+                )
+        elif etype == "span":
+            if event.get("dur", 0) < 0:
+                problems.append(f"{where}: negative duration")
+            span_id = event.get("id")
+            if span_id in span_ids:
+                problems.append(f"{where}: duplicate span id {span_id}")
+            span_ids.add(span_id)
+    if not seen_meta:
+        problems.append("trace has no meta event")
+    return problems
+
+
+def spans_of(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def to_chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert a trace to the Chrome ``trace_event`` format.
+
+    Spans become complete (``"ph": "X"``) events and instants become
+    instant (``"ph": "i"``) events; span ids, parents and attributes ride
+    in ``args`` so the conversion is lossless modulo the meta header.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for event in events:
+        etype = event.get("type")
+        if etype == "span":
+            args = dict(event.get("attrs", {}))
+            args["span_id"] = event["id"]
+            if event.get("parent") is not None:
+                args["parent_id"] = event["parent"]
+            trace_events.append({
+                "name": event["name"],
+                "cat": event["cat"],
+                "ph": "X",
+                "ts": event["ts"],
+                "dur": event["dur"],
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            })
+        elif etype == "instant":
+            trace_events.append({
+                "name": event["name"],
+                "cat": event["cat"],
+                "ph": "i",
+                "s": "p",
+                "ts": event["ts"],
+                "pid": 1,
+                "tid": 1,
+                "args": dict(event.get("attrs", {})),
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def from_chrome_trace(chrome: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Invert :func:`to_chrome_trace` (round-trip check for tests)."""
+    events: List[Dict[str, Any]] = [meta_event()]
+    for te in chrome.get("traceEvents", []):
+        args = dict(te.get("args", {}))
+        if te.get("ph") == "X":
+            span_id = args.pop("span_id")
+            parent = args.pop("parent_id", None)
+            events.append({
+                "type": "span",
+                "name": te["name"],
+                "cat": te["cat"],
+                "id": span_id,
+                "parent": parent,
+                "ts": te["ts"],
+                "dur": te["dur"],
+                "attrs": args,
+            })
+        elif te.get("ph") == "i":
+            events.append({
+                "type": "instant",
+                "name": te["name"],
+                "cat": te["cat"],
+                "ts": te["ts"],
+                "attrs": args,
+            })
+    return events
+
+
+def trace_to_prometheus(events: Iterable[Dict[str, Any]]) -> str:
+    """Aggregate a trace's spans into metrics and render Prometheus text.
+
+    Span durations land in ``repro_span_seconds`` histograms labeled by
+    phase category, with matching ``repro_span_total`` counters — the
+    offline equivalent of scraping a live registry.
+    """
+    from repro.obs.metrics import MetricsRegistry, SECONDS_BUCKETS
+
+    registry = MetricsRegistry()
+    seconds = registry.histogram(
+        "repro_span_seconds", "span duration by phase",
+        labels=("phase",), boundaries=SECONDS_BUCKETS,
+    )
+    totals = registry.counter(
+        "repro_span_total", "finished spans by phase", labels=("phase",),
+    )
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        phase = event["cat"]
+        seconds.labels(phase).observe(event["dur"] / 1e6)
+        totals.labels(phase).inc()
+    return registry.to_prometheus()

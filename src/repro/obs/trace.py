@@ -1,0 +1,292 @@
+"""Hierarchical span tracer with a provably-cheap disabled path.
+
+The span model mirrors the BSP execution it instruments::
+
+    run
+    └── superstep s                 (one per superstep)
+        ├── compute                 (the vertex loop)
+        │     · provenance-capture  (fact recording, per superstep)
+        │     · query-eval          (PQL stratum fixpoint, per superstep)
+        ├── message-barrier         (outbox swap + aggregators + hooks)
+        │     └── checkpoint        (CheckpointedEngine snapshot write)
+        └── spill                   (slab seal/load round-trips)
+
+Phase names are fixed (:data:`PHASES`) so traces from different runs
+aggregate cleanly; free-form context travels in span attributes.
+``combine`` never gets spans — message combining is interleaved inside
+``compute`` at per-message granularity — it is accounted by the
+``messages_combined`` counter instead.
+
+Disabled tracing costs one attribute read: the module default is
+:data:`NULL_TRACER`, whose ``enabled`` flag lets hot paths skip
+instrumentation entirely (the engine checks it once per superstep, never
+per vertex), and whose ``span()`` returns a shared no-op span so even
+un-gated call sites allocate nothing.
+
+Timestamps come from ``time.perf_counter_ns`` — monotonic, unaffected by
+wall-clock adjustments — and are recorded in microseconds (the Chrome
+trace unit).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.sinks import InMemorySink
+
+# Phase taxonomy (span categories).
+PHASE_RUN = "run"
+PHASE_SUPERSTEP = "superstep"
+PHASE_COMPUTE = "compute"
+PHASE_BARRIER = "message-barrier"
+PHASE_COMBINE = "combine"  # counter-only; see module docstring
+PHASE_CAPTURE = "provenance-capture"
+PHASE_QUERY = "query-eval"
+PHASE_SPILL = "spill"
+PHASE_CHECKPOINT = "checkpoint"
+
+PHASES = (
+    PHASE_RUN, PHASE_SUPERSTEP, PHASE_COMPUTE, PHASE_BARRIER, PHASE_COMBINE,
+    PHASE_CAPTURE, PHASE_QUERY, PHASE_SPILL, PHASE_CHECKPOINT,
+)
+
+
+class Span:
+    """One timed, attributed interval; ended explicitly or via ``with``."""
+
+    __slots__ = ("_tracer", "name", "category", "span_id", "parent_id",
+                 "start_ns", "end_ns", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 span_id: int, parent_id: Optional[int], start_ns: int,
+                 attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs = attrs
+
+    @property
+    def duration_seconds(self) -> float:
+        if self.end_ns is None:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.end()
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by the disabled tracer."""
+
+    __slots__ = ()
+    name = category = None
+    span_id = parent_id = None
+    duration_seconds = 0.0
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+    registry = None
+
+    def span(self, name: str, category: Optional[str] = None,
+             **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def record(self, name: str, category: str, duration_seconds: float,
+               **attrs: Any) -> None:
+        pass
+
+    def event(self, name: str, category: Optional[str] = None,
+              **attrs: Any) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Emits finished spans and instants to a sink; optionally mirrors
+    span durations into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Open spans form a stack: a new span's parent defaults to the top of
+    the stack, so nested ``with tracer.span(...)`` blocks — and manual
+    ``begin``/``end`` pairs that close in LIFO order, as the engine's
+    superstep loop does — yield the run → superstep → phase hierarchy
+    without explicit parent plumbing.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Any] = None,
+                 registry: Optional[Any] = None) -> None:
+        self.sink = sink if sink is not None else InMemorySink()
+        self.registry = registry
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._span_seconds = None
+        self._span_total = None
+        if registry is not None:
+            from repro.obs.metrics import SECONDS_BUCKETS
+
+            self._span_seconds = registry.histogram(
+                "repro_span_seconds", "span duration by phase",
+                labels=("phase",), boundaries=SECONDS_BUCKETS,
+            )
+            self._span_total = registry.counter(
+                "repro_span_total", "finished spans by phase",
+                labels=("phase",),
+            )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: Optional[str] = None,
+             parent: Optional[Span] = None, **attrs: Any) -> Span:
+        """Start a span (the clock is already running on return)."""
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None and self._stack:
+            parent_id: Optional[int] = self._stack[-1].span_id
+        else:
+            parent_id = parent.span_id if parent is not None else None
+        span = Span(self, name, category or name, span_id, parent_id,
+                    time.perf_counter_ns(), attrs)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if span.end_ns is not None:
+            return  # idempotent: double end is a no-op
+        span.end_ns = time.perf_counter_ns()
+        # pop the span (and anything left open above it, defensively)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._emit_span(span)
+
+    def record(self, name: str, category: str, duration_seconds: float,
+               **attrs: Any) -> None:
+        """Emit a synthetic span for an externally-accumulated duration.
+
+        Used for phase timings that are summed across many fine-grained
+        events (per-vertex capture work) and flushed once per superstep —
+        the span ends "now" and is backdated by its duration.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        end_ns = time.perf_counter_ns()
+        span = Span(self, name, category, span_id, parent_id,
+                    end_ns - int(duration_seconds * 1e9), attrs)
+        span.end_ns = end_ns
+        self._emit_span(span)
+
+    def event(self, name: str, category: Optional[str] = None,
+              **attrs: Any) -> None:
+        """Emit an instant event (a point in time, no duration)."""
+        self.sink.emit({
+            "type": "instant",
+            "name": name,
+            "cat": category or name,
+            "ts": time.perf_counter_ns() // 1000,
+            "attrs": attrs,
+        })
+
+    def _emit_span(self, span: Span) -> None:
+        duration = span.duration_seconds
+        if self._span_seconds is not None:
+            self._span_seconds.labels(span.category).observe(duration)
+            self._span_total.labels(span.category).inc()
+        self.sink.emit({
+            "type": "span",
+            "name": span.name,
+            "cat": span.category,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "ts": span.start_ns // 1000,
+            "dur": (span.end_ns - span.start_ns) // 1000,
+            "attrs": span.attrs,
+        })
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        while self._stack:  # end anything left open, outermost last
+            self._stack[-1].end()
+        self.sink.close()
+
+
+_ACTIVE: Any = NULL_TRACER
+
+
+def get_tracer() -> Any:
+    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Any) -> Any:
+    """Install ``tracer`` process-wide; returns the previous tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class tracing:
+    """Context manager installing a tracer for the duration of a block::
+
+        with tracing(Tracer(sink)) as tracer:
+            engine.run(program)
+    """
+
+    def __init__(self, tracer: Any) -> None:
+        self.tracer = tracer
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: Any) -> None:
+        set_tracer(self._previous)

@@ -17,6 +17,7 @@ online runtime can ship deltas using per-neighbor watermarks).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PQLError, PQLSemanticError
@@ -616,10 +617,21 @@ def run_prepared(
     functions: FunctionRegistry,
     sites: Sequence[Any],
     anchor_time: Optional[int] = None,
+    stratum_seconds: Optional[Dict[int, float]] = None,
 ) -> int:
-    """Evaluate prepared strata in order, each to fixpoint over ``sites``."""
+    """Evaluate prepared strata in order, each to fixpoint over ``sites``.
+
+    ``stratum_seconds`` is the observability hook: a dict that accumulates
+    wall time per stratum number (the offline drivers pass one when
+    tracing is enabled, and the timings feed ``EXPLAIN``). When ``None``
+    — the online runtime's per-vertex hot path — the only cost is one
+    ``is not None`` check per call.
+    """
     total = 0
+    timing = stratum_seconds is not None
     for stratum, recursive in prepared:
+        if timing:
+            started = time.perf_counter()
         while True:
             new = 0
             for crule in stratum:
@@ -630,6 +642,12 @@ def run_prepared(
             total += new
             if new == 0 or not recursive:
                 break
+        if timing:
+            key = stratum[0].stratum
+            stratum_seconds[key] = (
+                stratum_seconds.get(key, 0.0)
+                + time.perf_counter() - started
+            )
     return total
 
 
@@ -640,6 +658,7 @@ def run_strata(
     functions: FunctionRegistry,
     sites: Iterable[Any],
     anchor_time: Optional[int] = None,
+    stratum_seconds: Optional[Dict[int, float]] = None,
 ) -> int:
     """Evaluate strata in order, each to fixpoint over ``sites``.
 
@@ -647,5 +666,6 @@ def run_strata(
     for free-mode (centralized) evaluation.
     """
     return run_prepared(
-        prepare_strata(strata), mode, db, functions, list(sites), anchor_time
+        prepare_strata(strata), mode, db, functions, list(sites), anchor_time,
+        stratum_seconds,
     )

@@ -9,7 +9,7 @@ query is eligible for. Exposed on the CLI as ``python -m repro explain``.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, Dict, List, Optional
 
 from repro.pql.analysis import CompiledQuery, relation_windows
 from repro.pql.plan import (
@@ -97,8 +97,18 @@ def explain_rule(crule: CompiledRule, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
-def explain(compiled: CompiledQuery, verbose: bool = False) -> str:
-    """Render a compiled query's full compilation report."""
+def explain(
+    compiled: CompiledQuery,
+    verbose: bool = False,
+    timings: "Optional[Dict[int, float]]" = None,
+) -> str:
+    """Render a compiled query's full compilation report.
+
+    ``timings`` maps stratum number → observed evaluation seconds (the
+    ``stratum_seconds`` collected by the offline runtimes when tracing is
+    on); when given, the report closes with the measured cost of each
+    stratum so plan structure and runtime cost read side by side.
+    """
     lines = [
         f"direction: {compiled.direction}",
         "eligible modes: "
@@ -142,4 +152,14 @@ def explain(compiled: CompiledQuery, verbose: bool = False) -> str:
     for stratum in compiled.strata:
         for crule in stratum:
             lines.append(explain_rule(crule, verbose))
+    if timings:
+        total = sum(timings.values())
+        lines.append("observed stratum timings:")
+        for stratum_no in sorted(timings):
+            seconds = timings[stratum_no]
+            share = seconds / total if total else 0.0
+            lines.append(
+                f"  stratum {stratum_no}: {seconds * 1000:.3f} ms"
+                f" ({share:.1%} of evaluation)"
+            )
     return "\n".join(lines)

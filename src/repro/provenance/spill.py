@@ -20,7 +20,28 @@ import tempfile
 from typing import Any, Dict, Iterator, Optional, Set
 
 from repro.errors import ProvenanceError
+from repro.obs.log import get_logger
+from repro.obs.metrics import BYTES_BUCKETS, get_registry
+from repro.obs.trace import PHASE_SPILL, get_tracer
 from repro.provenance.store import ProvenanceStore, Row
+
+logger = get_logger("provenance.spill")
+
+
+def _count_spill(direction: str, size: int) -> None:
+    """Fold one slab write/read into the process metrics registry."""
+    registry = get_registry()
+    registry.counter(
+        "repro_spill_ops_total", "slab seal/load operations",
+        labels=("direction",),
+    ).labels(direction).inc()
+    registry.counter(
+        "repro_spill_bytes_total", "slab bytes moved", labels=("direction",),
+    ).labels(direction).inc(size)
+    registry.histogram(
+        "repro_spill_slab_bytes", "slab size", labels=("direction",),
+        boundaries=BYTES_BUCKETS,
+    ).labels(direction).observe(size)
 
 
 class SpillManager:
@@ -70,9 +91,14 @@ class SpillManager:
         """
         layer = self.store.layer(superstep)
         path = self.slab_path(superstep)
-        with open(path, "wb") as fh:
-            pickle.dump(layer, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        size = os.path.getsize(path)
+        with get_tracer().span(
+            "spill-seal", PHASE_SPILL, layer=superstep
+        ) as span:
+            with open(path, "wb") as fh:
+                pickle.dump(layer, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            size = os.path.getsize(path)
+            span.set(bytes=size)
+        _count_spill("write", size)
         self._slabs[superstep] = path
         self.bytes_spilled += size
         return size
@@ -95,13 +121,16 @@ class SpillManager:
                 static[relation] = by_vertex
         schemas = {name: registry.get(name) for name in self.store.relations()}
         path = os.path.join(self.directory, "static.slab")
-        with open(path, "wb") as fh:
-            pickle.dump(
-                {"relations": static, "schemas": schemas, "num_layers": self.store.num_layers},
-                fh,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        size = os.path.getsize(path)
+        with get_tracer().span("spill-seal", PHASE_SPILL, layer="static") as span:
+            with open(path, "wb") as fh:
+                pickle.dump(
+                    {"relations": static, "schemas": schemas, "num_layers": self.store.num_layers},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            size = os.path.getsize(path)
+            span.set(bytes=size)
+        _count_spill("write", size)
         self._static_path = path
         self.bytes_spilled += size
         return size
@@ -111,14 +140,22 @@ class SpillManager:
         total = self.seal_static()
         for superstep in range(self.store.num_layers):
             total += self.seal_layer(superstep)
+        logger.debug(
+            "sealed %d layer(s) + static, %d bytes -> %s",
+            self.store.num_layers, total, self.directory,
+        )
         return total
 
     def load_static(self) -> Dict[str, Any]:
         path = getattr(self, "_static_path", None)
         if path is None:
             raise ProvenanceError("static slab was never sealed")
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        with get_tracer().span("spill-load", PHASE_SPILL, layer="static") as span:
+            with open(path, "rb") as fh:
+                data = pickle.load(fh)
+            span.set(bytes=os.path.getsize(path))
+        _count_spill("read", os.path.getsize(path))
+        return data
 
     def sealed_layers(self) -> Iterator[int]:
         return iter(sorted(self._slabs))
@@ -127,8 +164,14 @@ class SpillManager:
         path = self._slabs.get(superstep)
         if path is None:
             raise ProvenanceError(f"layer {superstep} was never sealed")
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        with get_tracer().span(
+            "spill-load", PHASE_SPILL, layer=superstep
+        ) as span:
+            with open(path, "rb") as fh:
+                layer = pickle.load(fh)
+            span.set(bytes=os.path.getsize(path))
+        _count_spill("read", os.path.getsize(path))
+        return layer
 
     def layer_size(self, superstep: int) -> int:
         """On-disk bytes of one sealed layer slab."""

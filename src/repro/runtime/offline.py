@@ -22,11 +22,15 @@ from typing import Any, Callable, Dict, List, Optional, Set, Union
 
 from repro.errors import PQLCompatibilityError
 from repro.graph.digraph import DiGraph
+from repro.obs.log import get_logger
+from repro.obs.trace import PHASE_QUERY, get_tracer
 from repro.pql.analysis import (
     DIRECTION_BACKWARD,
     CompiledQuery,
     compile_query,
 )
+
+logger = get_logger("runtime.offline")
 from repro.pql.ast import Program
 from repro.pql.eval import (
     MODE_ANCHORED,
@@ -56,14 +60,16 @@ def _compile_offline(
 
 
 def _run_setup(compiled: CompiledQuery, db: StoreDatabase,
-               functions: FunctionRegistry) -> int:
+               functions: FunctionRegistry,
+               stratum_seconds: Optional[Dict[int, float]] = None) -> int:
     if not compiled.static_rules:
         return 0
     max_stratum = max(c.stratum for c in compiled.static_rules)
     buckets: List[List[Any]] = [[] for _ in range(max_stratum + 1)]
     for crule in compiled.static_rules:
         buckets[crule.stratum].append(crule)
-    return run_strata(buckets, MODE_FREE, db, functions, [None])
+    return run_strata(buckets, MODE_FREE, db, functions, [None],
+                      stratum_seconds=stratum_seconds)
 
 
 def run_layered(
@@ -78,9 +84,13 @@ def run_layered(
     compiled = _compile_offline(query, store, functions, params)
     compiled.require_layered()
 
+    tracer = get_tracer()
+    # Cold path: per-stratum timing is always on here (two clock reads per
+    # stratum per layer) so EXPLAIN can show observed costs untraced.
+    stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
     start = time.perf_counter()
-    derivations = _run_setup(compiled, db, functions)
+    derivations = _run_setup(compiled, db, functions, stratum_seconds)
 
     num_layers = store.num_layers
     order = range(num_layers)
@@ -100,23 +110,31 @@ def run_layered(
         layers_visited += 1
         if not sites:
             continue
-        derivations += run_strata(
-            compiled.strata, MODE_ANCHORED, db, functions, sorted(sites, key=repr),
-            anchor_time=layer_index,
-        )
+        with tracer.span(
+            "query-eval", PHASE_QUERY, mode="layered", layer=layer_index,
+            sites=len(sites),
+        ):
+            derivations += run_strata(
+                compiled.strata, MODE_ANCHORED, db, functions,
+                sorted(sites, key=repr),
+                anchor_time=layer_index,
+                stratum_seconds=stratum_seconds,
+            )
 
+    stats = {
+        "direction": compiled.direction,
+        "peak_layer_rows": peak_layer_rows,
+        "store_rows": store.num_rows,
+        "head_predicates": sorted(compiled.head_predicates),
+        "stratum_seconds": stratum_seconds,
+    }
     return QueryResult(
         derived=db.derived,
         mode="layered",
         wall_seconds=time.perf_counter() - start,
         supersteps=layers_visited,
         derivations=derivations,
-        stats={
-            "direction": compiled.direction,
-            "peak_layer_rows": peak_layer_rows,
-            "store_rows": store.num_rows,
-            "head_predicates": sorted(compiled.head_predicates),
-        },
+        stats=stats,
     )
 
 
@@ -147,9 +165,13 @@ def run_naive(
             f"({loaded_bytes} bytes) but the budget is {memory_budget_bytes}"
         )
 
+    tracer = get_tracer()
+    # Cold path: per-stratum timing is always on here (two clock reads per
+    # stratum per layer) so EXPLAIN can show observed costs untraced.
+    stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
     start = time.perf_counter()
-    derivations = _run_setup(compiled, db, functions)
+    derivations = _run_setup(compiled, db, functions, stratum_seconds)
     # The straightforward engine materializes the *unfolded* provenance
     # graph and runs the query vertex program at every provenance node —
     # one per (vertex, superstep) execution. The evaluation site list
@@ -161,21 +183,27 @@ def run_naive(
         sites = [vertex for vertex, _superstep in nodes]
     else:
         sites = sorted(store.vertices(), key=repr)
-    derivations += run_strata(
-        compiled.strata, MODE_LOCATED, db, functions, sites
-    )
+    with tracer.span(
+        "query-eval", PHASE_QUERY, mode="naive", sites=len(sites)
+    ):
+        derivations += run_strata(
+            compiled.strata, MODE_LOCATED, db, functions, sites,
+            stratum_seconds=stratum_seconds,
+        )
+    stats = {
+        "loaded_bytes": loaded_bytes,
+        "unfolded_nodes": len(nodes),
+        "sites": len(sites),
+        "head_predicates": sorted(compiled.head_predicates),
+        "stratum_seconds": stratum_seconds,
+    }
     return QueryResult(
         derived=db.derived,
         mode="naive",
         wall_seconds=time.perf_counter() - start,
         supersteps=store.num_layers,
         derivations=derivations,
-        stats={
-            "loaded_bytes": loaded_bytes,
-            "unfolded_nodes": len(nodes),
-            "sites": len(sites),
-            "head_predicates": sorted(compiled.head_predicates),
-        },
+        stats=stats,
     )
 
 
@@ -225,8 +253,12 @@ def run_layered_from_spill(
     )
     compiled.require_layered()
 
+    tracer = get_tracer()
+    # Cold path: per-stratum timing is always on here (two clock reads per
+    # stratum per layer) so EXPLAIN can show observed costs untraced.
+    stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
-    derivations = _run_setup(compiled, db, functions)
+    derivations = _run_setup(compiled, db, functions, stratum_seconds)
 
     num_layers = static["num_layers"]
     order = range(num_layers)
@@ -254,24 +286,31 @@ def run_layered_from_spill(
         peak_layer_rows = max(peak_layer_rows, layer_rows)
         if not sites:
             continue
-        derivations += run_strata(
-            compiled.strata, MODE_ANCHORED, db, functions,
-            sorted(sites, key=repr), anchor_time=layer_index,
-        )
+        with tracer.span(
+            "query-eval", PHASE_QUERY, mode="layered", layer=layer_index,
+            sites=len(sites),
+        ):
+            derivations += run_strata(
+                compiled.strata, MODE_ANCHORED, db, functions,
+                sorted(sites, key=repr), anchor_time=layer_index,
+                stratum_seconds=stratum_seconds,
+            )
 
+    stats = {
+        "direction": compiled.direction,
+        "peak_layer_rows": peak_layer_rows,
+        "peak_slab_bytes": peak_slab_bytes,
+        "from_spill": True,
+        "head_predicates": sorted(compiled.head_predicates),
+        "stratum_seconds": stratum_seconds,
+    }
     return QueryResult(
         derived=db.derived,
         mode="layered",
         wall_seconds=time.perf_counter() - start,
         supersteps=num_layers,
         derivations=derivations,
-        stats={
-            "direction": compiled.direction,
-            "peak_layer_rows": peak_layer_rows,
-            "peak_slab_bytes": peak_slab_bytes,
-            "from_spill": True,
-            "head_predicates": sorted(compiled.head_predicates),
-        },
+        stats=stats,
     )
 
 
@@ -321,9 +360,10 @@ def run_reference(
     db = StoreDatabase(store, graph, compiled.head_predicates)
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions)
-    derivations += run_strata(
-        compiled.strata, MODE_FREE, db, functions, [None]
-    )
+    with get_tracer().span("query-eval", PHASE_QUERY, mode="reference"):
+        derivations += run_strata(
+            compiled.strata, MODE_FREE, db, functions, [None]
+        )
     return QueryResult(
         derived=db.derived,
         mode="reference",

@@ -36,6 +36,9 @@ from repro.engine.engine import PregelEngine
 from repro.engine.vertex import VertexContext, VertexProgram
 from repro.errors import PQLCompatibilityError
 from repro.graph.digraph import DiGraph
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.trace import PHASE_CAPTURE, PHASE_QUERY, get_tracer
 from repro.pql.analysis import CompiledQuery, compile_query, relation_windows
 from repro.pql.ast import Program
 from repro.pql.eval import MODE_ANCHORED, MODE_FREE, prepare_strata, run_prepared, run_strata
@@ -46,6 +49,8 @@ from repro.provenance.store import ProvenanceStore
 from repro.runtime.db import OnlineDatabase
 from repro.runtime.envelope import Envelope
 from repro.runtime.results import OnlineRunResult, QueryResult
+
+logger = get_logger("runtime.online")
 
 
 class RecordingContext:
@@ -222,6 +227,20 @@ class OnlineQueryProgram(VertexProgram):
         self._watermarks: Dict[Any, Dict[Any, Dict[str, int]]] = {}
         self.derivations = 0
         self.query_seconds = 0.0
+        # Window pruning effectiveness: a hit is a (relation, vertex)
+        # partition that existed when its window was enforced, a miss is a
+        # window check that found no partition to prune.
+        self.prune_hits = 0
+        self.prune_misses = 0
+        # Tracing: per-vertex timings are accumulated and flushed as one
+        # synthetic span per phase per superstep (per-vertex spans would
+        # dominate the work they measure). Resolved once at construction —
+        # the tracer active when the run starts is the one that sees it.
+        self._tracer = get_tracer()
+        self._traced = self._tracer.enabled
+        self._trace_superstep = -1
+        self._capture_ns = 0
+        self._eval_ns = 0
 
     # -- delegation to the analytic --------------------------------------
     def initial_value(self, vertex_id: Any, graph: Any) -> Any:
@@ -255,6 +274,10 @@ class OnlineQueryProgram(VertexProgram):
         s = ctx.superstep
         db = self.db
         db.begin_vertex(x)
+        traced = self._traced
+        if traced and s != self._trace_superstep:
+            self._flush_phase_spans()
+            self._trace_superstep = s
 
         add_local = self._add_local
         payloads: List[Any] = []
@@ -299,19 +322,80 @@ class OnlineQueryProgram(VertexProgram):
             if self._need_edge_value:
                 add_local("edge_value", x, (x, target, freeze(value), s), s)
 
+        if traced:
+            eval_start = time.perf_counter()
         self.derivations += run_prepared(
             self._prepared, MODE_ANCHORED, db, self.functions, (x,),
             anchor_time=s,
         )
+        if traced:
+            eval_seconds = time.perf_counter() - eval_start
+            self._eval_ns += int(eval_seconds * 1e9)
         if self._windows:
             for relation, window in self._windows.items():
                 part = db.local.partition(relation, x)
-                if part is not None:
+                if part is None:
+                    self.prune_misses += 1
+                else:
+                    self.prune_hits += 1
                     self.pruned_rows += part.prune_older_than(s - window)
-        self.query_seconds += time.perf_counter() - query_start
+        query_end = time.perf_counter()
+        self.query_seconds += query_end - query_start
+        if traced:
+            # capture = fact recording + window pruning; the stratum
+            # fixpoint is accounted separately as query-eval.
+            self._capture_ns += int(
+                (query_end - query_start - eval_seconds) * 1e9
+            )
 
         for target, payload in recorder.sends:
             ctx.send(target, Envelope(x, payload, self._delta_tables(x, target)))
+
+    # -- tracing helpers ---------------------------------------------------
+    def _flush_phase_spans(self) -> None:
+        """Emit the finished superstep's accumulated capture/query-eval
+        timings as one synthetic span per phase."""
+        if self._trace_superstep < 0:
+            return
+        if self._capture_ns:
+            self._tracer.record(
+                "provenance-capture", PHASE_CAPTURE, self._capture_ns / 1e9,
+                superstep=self._trace_superstep,
+            )
+        if self._eval_ns:
+            self._tracer.record(
+                "query-eval", PHASE_QUERY, self._eval_ns / 1e9,
+                superstep=self._trace_superstep,
+            )
+        self._capture_ns = 0
+        self._eval_ns = 0
+
+    def finish_trace(self) -> None:
+        """Flush the last superstep's phase spans and fold the run's
+        capture counters into the process metrics registry."""
+        if self._traced:
+            self._flush_phase_spans()
+            self._trace_superstep = -1
+        registry = get_registry()
+        registry.counter(
+            "repro_capture_derivations_total", "derived head tuples"
+        ).inc(self.derivations)
+        registry.counter(
+            "repro_capture_shipped_tuples_total",
+            "delta tuples piggybacked on messages",
+        ).inc(self.shipped_tuples)
+        registry.counter(
+            "repro_capture_pruned_rows_total",
+            "transient rows dropped by window pruning",
+        ).inc(self.pruned_rows)
+        registry.counter(
+            "repro_capture_prune_checks_total",
+            "window-pruning partition checks", labels=("outcome",),
+        ).labels("hit").inc(self.prune_hits)
+        registry.counter(
+            "repro_capture_prune_checks_total",
+            "window-pruning partition checks", labels=("outcome",),
+        ).labels("miss").inc(self.prune_misses)
 
     def _delta_tables(
         self, vertex: Any, target: Any
@@ -385,6 +469,12 @@ def run_online(
     )
     engine = PregelEngine(graph, config=engine_config)
     run = engine.run(wrapper, max_supersteps=max_supersteps)
+    wrapper.finish_trace()
+    logger.debug(
+        "online run %s: %d supersteps, %d derivations, %.3fs query time",
+        wrapper.name, run.num_supersteps, wrapper.derivations,
+        wrapper.query_seconds,
+    )
 
     query_result = QueryResult(
         derived=wrapper.db.derived,
@@ -396,6 +486,8 @@ def run_online(
             "query_seconds": wrapper.query_seconds,
             "head_predicates": sorted(compiled.head_predicates),
             "pruned_rows": wrapper.pruned_rows,
+            "prune_hits": wrapper.prune_hits,
+            "prune_misses": wrapper.prune_misses,
             "transient_rows": wrapper.db.local.num_rows(),
             "shipped_tuples": wrapper.shipped_tuples,
         },

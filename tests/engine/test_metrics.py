@@ -39,6 +39,32 @@ class TestRunMetrics:
             "skipped_vertices",
         }
 
+    def test_summary_message_bytes_none_when_untracked(self):
+        # when byte estimation is off the per-step counters read 0 because
+        # nothing was measured; the summary must not report that as "0 bytes"
+        metrics = RunMetrics(track_message_bytes=False)
+        step = SuperstepMetrics(0)
+        step.messages_sent = 5
+        metrics.supersteps.append(step)
+        assert metrics.summary()["message_bytes"] is None
+
+    def test_summary_message_bytes_reported_when_tracked(self):
+        metrics = RunMetrics()
+        step = SuperstepMetrics(0)
+        step.message_bytes = 64
+        metrics.supersteps.append(step)
+        assert metrics.summary()["message_bytes"] == 64
+
+    def test_frontier_skip_ratio(self):
+        metrics = RunMetrics()
+        assert metrics.frontier_skip_ratio == 0.0  # no supersteps yet
+        for i, (frontier, skipped) in enumerate([(10, 0), (5, 15)]):
+            step = SuperstepMetrics(i)
+            step.frontier_size = frontier
+            step.skipped_vertices = skipped
+            metrics.supersteps.append(step)
+        assert metrics.frontier_skip_ratio == 0.5  # 15 of 30 slots skipped
+
     def test_frontier_totals(self):
         metrics = RunMetrics()
         for i, (frontier, skipped) in enumerate([(10, 0), (2, 8)]):
@@ -65,6 +91,24 @@ class TestEngineCounting:
         # scheduler counters mirror the executed/idle split
         assert steps[0].frontier_size == 4 and steps[0].skipped_vertices == 0
         assert steps[1].frontier_size == 1 and steps[1].skipped_vertices == 3
+
+    def test_summary_reflects_byte_tracking_config(self):
+        from repro.engine.config import EngineConfig
+
+        def chatty(ctx, msgs):
+            ctx.send_to_all("x")
+
+        off = run_program(
+            chain_graph(3), FunctionProgram(chatty),
+            config=EngineConfig(track_message_bytes=False), max_supersteps=2,
+        )
+        assert off.metrics.summary()["message_bytes"] is None
+
+        on = run_program(
+            chain_graph(3), FunctionProgram(chatty),
+            config=EngineConfig(track_message_bytes=True), max_supersteps=2,
+        )
+        assert on.metrics.summary()["message_bytes"] > 0
 
     def test_wall_seconds_accumulate(self):
         result = run_program(

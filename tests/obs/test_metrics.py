@@ -1,0 +1,162 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total", "things")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat_seconds", boundaries=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.count == 3
+        assert child.sum == pytest.approx(5.55)
+        assert child.bucket_counts == [1, 1, 1]  # <=0.1, <=1.0, +Inf
+        assert child.cumulative() == [1, 2, 3]
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().histogram("bad", boundaries=(1.0, 0.1)).observe(1)
+
+    def test_default_bucket_sets_are_sorted(self):
+        assert list(SECONDS_BUCKETS) == sorted(SECONDS_BUCKETS)
+        assert list(BYTES_BUCKETS) == sorted(BYTES_BUCKETS)
+
+
+class TestLabels:
+    def test_labeled_children_are_distinct(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("ops_total", labels=("direction",))
+        fam.labels("read").inc()
+        fam.labels("write").inc(2)
+        assert fam.labels("read").value == 1
+        assert fam.labels(direction="write").value == 2
+
+    def test_label_arity_checked(self):
+        fam = MetricsRegistry().counter("ops_total", labels=("a", "b"))
+        with pytest.raises(ReproError):
+            fam.labels("only-one")
+        with pytest.raises(ReproError):
+            fam.labels(a="x")  # missing b
+
+    def test_unlabeled_proxy_rejected_on_labeled_family(self):
+        fam = MetricsRegistry().counter("ops_total", labels=("a",))
+        with pytest.raises(ReproError):
+            fam.inc()
+
+
+class TestRegistry:
+    def test_duplicate_registration_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "first help")
+        b = registry.counter("x_total", "ignored")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ReproError):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ReproError):
+            registry.counter("x_total", labels=("b",))
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.histogram("h_seconds").observe(0.2)
+        registry.counter("lbl_total", labels=("k",)).labels("v").inc()
+        snap = registry.snapshot()
+        assert snap["c_total"] == 3
+        assert snap["h_seconds"] == {"count": 1, "sum": 0.2}
+        assert snap['lbl_total{k="v"}'] == 1
+
+    def test_process_default_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs run").inc(2)
+        registry.gauge("depth", "queue depth").set(1.5)
+        text = registry.to_prometheus()
+        assert "# HELP jobs_total jobs run" in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 2" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 1.5" in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", boundaries=(0.1, 1.0)).observe(0.5)
+        text = registry.to_prometheus()
+        assert 'h_seconds_bucket{le="0.1"} 0' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_sum 0.5" in text
+        assert "h_seconds_count 1" in text
+
+    def test_labeled_histogram_le_label_composes(self):
+        registry = MetricsRegistry()
+        fam = registry.histogram(
+            "h_seconds", labels=("phase",), boundaries=(1.0,)
+        )
+        fam.labels("compute").observe(0.5)
+        text = registry.to_prometheus()
+        assert 'h_seconds_bucket{phase="compute",le="1"} 1' in text
+        assert 'h_seconds_count{phase="compute"} 1' in text
+
+    def test_empty_families_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("unused_total", labels=("k",))  # no children yet
+        assert "unused_total" not in registry.to_prometheus()
+
+    def test_inf_formatting(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.to_prometheus()

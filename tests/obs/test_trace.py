@@ -1,0 +1,158 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    PHASE_CAPTURE,
+    PHASE_RUN,
+    PHASE_SUPERSTEP,
+    PHASES,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+def spans(sink):
+    return [e for e in sink.events if e["type"] == "span"]
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("run", PHASE_RUN, analytic="sssp") as span:
+            span.set(supersteps=3)
+        (event,) = spans(sink)
+        assert event["name"] == "run"
+        assert event["cat"] == PHASE_RUN
+        assert event["dur"] >= 0
+        assert event["attrs"] == {"analytic": "sssp", "supersteps": 3}
+
+    def test_nesting_gives_implicit_parents(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("run", PHASE_RUN):
+            with tracer.span("superstep", PHASE_SUPERSTEP):
+                pass
+            with tracer.span("superstep", PHASE_SUPERSTEP):
+                pass
+        step_a, step_b, run = spans(sink)  # children finish first
+        assert run["parent"] is None
+        assert step_a["parent"] == run["id"]
+        assert step_b["parent"] == run["id"]
+        assert len({run["id"], step_a["id"], step_b["id"]}) == 3
+
+    def test_explicit_parent_overrides_stack(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        root = tracer.span("run", PHASE_RUN)
+        with tracer.span("superstep", PHASE_SUPERSTEP):
+            child = tracer.span("x", PHASE_CAPTURE, parent=root)
+            child.end()
+        root.end()
+        child_event = next(e for e in spans(sink) if e["name"] == "x")
+        assert child_event["parent"] == root.span_id
+
+    def test_double_end_is_idempotent(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        span = tracer.span("run", PHASE_RUN)
+        span.end()
+        span.end()
+        assert len(spans(sink)) == 1
+
+    def test_record_emits_backdated_span(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("superstep", PHASE_SUPERSTEP) as parent:
+            tracer.record("provenance-capture", PHASE_CAPTURE, 0.5,
+                          superstep=2)
+        event = next(e for e in spans(sink) if e["cat"] == PHASE_CAPTURE)
+        assert event["dur"] == pytest.approx(500_000, rel=0.01)  # us
+        assert event["parent"] == parent.span_id
+        assert event["attrs"]["superstep"] == 2
+
+    def test_instant_event(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.event("halt", PHASE_RUN, reason="converged")
+        (event,) = sink.events
+        assert event["type"] == "instant"
+        assert event["attrs"] == {"reason": "converged"}
+
+    def test_close_ends_leftover_spans(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.span("run", PHASE_RUN)
+        tracer.span("superstep", PHASE_SUPERSTEP)
+        tracer.close()
+        assert len(spans(sink)) == 2
+
+
+class TestRegistryMirror:
+    def test_span_durations_land_in_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(InMemorySink(), registry=registry)
+        with tracer.span("run", PHASE_RUN):
+            pass
+        snap = registry.snapshot()
+        assert snap['repro_span_total{phase="run"}'] == 1
+        assert snap['repro_span_seconds{phase="run"}']["count"] == 1
+
+
+class TestNullTracer:
+    def test_disabled_flag_and_shared_singletons(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("x") is NULL_SPAN
+        assert NullTracer().span("y") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("run", PHASE_RUN) as span:
+            assert span.set(a=1) is span
+            span.end()
+        NULL_TRACER.record("x", PHASE_CAPTURE, 1.0)
+        NULL_TRACER.event("x")
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+
+    def test_module_default_is_null(self):
+        assert get_tracer() is NULL_TRACER or get_tracer().enabled
+
+
+class TestActiveTracer:
+    def test_set_tracer_roundtrip(self):
+        tracer = Tracer(InMemorySink())
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_set_none_restores_null(self):
+        previous = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(previous)
+
+    def test_tracing_context_manager(self):
+        before = get_tracer()
+        tracer = Tracer(InMemorySink())
+        with tracing(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+
+class TestPhaseTaxonomy:
+    def test_phase_names_are_fixed_and_unique(self):
+        assert len(set(PHASES)) == len(PHASES)
+        assert PHASE_RUN in PHASES and PHASE_CAPTURE in PHASES

@@ -97,6 +97,87 @@ class TestCLI:
         assert code == 2
 
 
+class TestObservabilityFlags:
+    def test_run_prints_metrics_line(self, graph_file, capsys):
+        assert main(["run", "--analytic", "sssp", "--graph", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "vertex_executions=" in out
+        assert "frontier_skip_ratio=" in out
+
+    def test_monitor_prints_metrics_line(self, graph_file, capsys):
+        assert main([
+            "monitor", "--analytic", "sssp", "--graph", graph_file,
+            "--query", "query5",
+        ]) == 0
+        assert "metrics:" in capsys.readouterr().out
+
+    def test_run_trace_writes_valid_jsonl(self, graph_file, tmp_path,
+                                          capsys):
+        from repro.obs.sinks import read_trace, validate_events
+
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main([
+            "run", "--analytic", "sssp", "--graph", graph_file,
+            "--trace", trace_file,
+        ]) == 0
+        events = read_trace(trace_file)
+        assert validate_events(events) == []
+        cats = {e["cat"] for e in events if e["type"] == "span"}
+        assert {"run", "superstep", "compute"} <= cats
+        assert "trace (jsonl) written" in capsys.readouterr().err
+
+    def test_run_trace_chrome_format(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "run.chrome.json")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "3",
+            "--trace", trace_file, "--trace-format", "chrome",
+        ]) == 0
+        with open(trace_file, "r", encoding="utf-8") as fh:
+            chrome = json.load(fh)
+        assert chrome["traceEvents"]
+
+    def test_run_trace_prom_format(self, graph_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "run.prom")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "3",
+            "--trace", trace_file, "--trace-format", "prom",
+        ]) == 0
+        with open(trace_file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        assert "repro_engine_runs_total" in text
+        assert 'repro_span_total{phase="run"}' in text
+
+    def test_stats_summarizes_cli_trace(self, graph_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "cap.jsonl")
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir, "--trace", trace_file,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "provenance-capture" in out
+
+    def test_query_verbose_prints_stratum_timings(self, graph_file,
+                                                  tmp_path, capsys):
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "query", "--store", store_dir, "--query", "query10",
+            "--param", "alpha=0", "--param", "sigma=0", "-v",
+        ]) == 0
+        assert "observed stratum timings:" in capsys.readouterr().out
+
+
 class TestExportAndExplainCommands:
     def test_export_roundtrip(self, graph_file, tmp_path, capsys):
         store_dir = str(tmp_path / "prov2")
