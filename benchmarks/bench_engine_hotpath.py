@@ -25,6 +25,13 @@ it against the event schema and uploads it as an artifact), and the JSON
 report gains a ``tracing_overhead`` section comparing disabled- vs
 enabled-tracing wall time on the same workload.
 
+The report also carries a ``serial_vs_parallel`` section: the same
+PageRank workload on the serial engine and the forked multiprocess
+backend (``repro.parallel``) at 2 and 4 workers, with *measured*
+cross-worker message counts and pickled bytes on the wire — the serial
+engine only simulates shard crossings; here they are real IPC. Each run
+doubles as a byte-identity check against the serial values.
+
 Scale with ``REPRO_HOTPATH_VERTICES`` (default 50,000; CI smoke uses a tiny
 graph). Also runs under ``pytest benchmarks/ --benchmark-only`` with the
 rest of the suite.
@@ -165,6 +172,104 @@ def measure_tracing_overhead(rounds: int = 3):
     }
 
 
+PARALLEL_WORKER_COUNTS = (2, 4)
+PARALLEL_SUPERSTEPS = 10
+
+
+def measure_serial_vs_parallel():
+    """Serial engine vs the multiprocess backend on a dense workload.
+
+    PageRank on a web graph is the communication-heavy shape: every vertex
+    messages every neighbor every superstep, so this bounds the cost of
+    pickling batches across real process boundaries. The serial run's
+    ``cross_worker_messages`` is simulated with the same partitioner, so
+    parallel counts must match it exactly; ``network_bytes`` exists only
+    on the parallel side (measured pickled blob sizes).
+    """
+    from repro.parallel.engine import ParallelEngine
+
+    graph = web_graph(
+        PAGERANK_VERTICES, avg_degree=8, target_diameter=12, seed=5
+    )
+    make_program = lambda: PageRank(
+        num_supersteps=PARALLEL_SUPERSTEPS).make_program()
+
+    def run(engine, backend, workers):
+        start = time.perf_counter()
+        result = engine.run(make_program())
+        wall = time.perf_counter() - start
+        summary = result.metrics.summary()
+        return result, {
+            "backend": backend,
+            "num_workers": workers,
+            "partitioner": "hash",
+            "wall_seconds": wall,
+            "supersteps": summary["supersteps"],
+            "messages": summary["messages"],
+            "cross_worker_messages": summary["cross_worker_messages"],
+            "network_bytes": summary["network_bytes"],
+        }
+
+    runs = {}
+    serial_values = None
+    for workers in PARALLEL_WORKER_COUNTS:
+        serial_result, serial = run(
+            PregelEngine(graph, config=EngineConfig(num_workers=workers)),
+            "serial", workers,
+        )
+        parallel_result, parallel = run(
+            ParallelEngine(graph, config=EngineConfig(
+                num_workers=workers, backend="parallel")),
+            "parallel", workers,
+        )
+        # equivalence at benchmark scale: byte-identical values, measured
+        # crossings equal to the serial engine's simulated ones
+        assert parallel_result.values == serial_result.values
+        assert (parallel["cross_worker_messages"]
+                == serial["cross_worker_messages"])
+        assert parallel["network_bytes"] > 0
+        if serial_values is None:
+            serial_values = serial_result.values
+        runs[f"workers_{workers}"] = {
+            "serial": serial,
+            "parallel": parallel,
+            "parallel_over_serial": (
+                parallel["wall_seconds"] / serial["wall_seconds"]
+                if serial["wall_seconds"] else 0.0
+            ),
+        }
+    return {
+        "workload": "pagerank_web",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "supersteps": PARALLEL_SUPERSTEPS,
+        "runs": runs,
+    }
+
+
+def publish_parallel_table(section) -> None:
+    rows = []
+    for key in sorted(section["runs"]):
+        run = section["runs"][key]
+        rows.append(
+            (
+                run["parallel"]["num_workers"],
+                run["serial"]["wall_seconds"],
+                run["parallel"]["wall_seconds"],
+                run["parallel_over_serial"],
+                run["parallel"]["cross_worker_messages"],
+                run["parallel"]["network_bytes"],
+            )
+        )
+    table = format_table(
+        "Serial vs multiprocess backend (PageRank, measured IPC)",
+        ["Workers", "Serial s", "Parallel s", "Par/Ser",
+         "Cross-worker msgs", "Network bytes"],
+        rows,
+    )
+    publish("engine_parallel", table)
+
+
 def write_trace(path: str) -> str:
     """Record a JSONL span trace of one frontier SSSP run."""
     graph = frontier_sssp_graph(SSSP_VERTICES)
@@ -247,8 +352,10 @@ def main(argv=None) -> None:
     args = parser.parse_args(argv)
     report = build_report()
     report["tracing_overhead"] = measure_tracing_overhead()
+    report["serial_vs_parallel"] = measure_serial_vs_parallel()
     path = write_json(report)
     publish_table(report)
+    publish_parallel_table(report["serial_vs_parallel"])
     check_report(report)
     sssp = report["workloads"]["sssp_grid"]
     print(f"wrote {path}")
@@ -263,6 +370,16 @@ def main(argv=None) -> None:
         f"{overhead['enabled_wall_seconds']:.3f}s enabled "
         f"({overhead['enabled_over_disabled']:.2f}x)"
     )
+    for key in sorted(report["serial_vs_parallel"]["runs"]):
+        run = report["serial_vs_parallel"]["runs"][key]
+        par = run["parallel"]
+        print(
+            f"parallel x{par['num_workers']}: "
+            f"{run['serial']['wall_seconds']:.3f}s serial -> "
+            f"{par['wall_seconds']:.3f}s parallel, "
+            f"{par['cross_worker_messages']} cross-worker msgs, "
+            f"{par['network_bytes']} bytes shipped"
+        )
     if args.trace:
         os.makedirs(os.path.dirname(args.trace) or ".", exist_ok=True)
         print(f"trace written to {write_trace(args.trace)}")

@@ -107,6 +107,16 @@ def _load_graph(args: argparse.Namespace) -> DiGraph:
     return load_web_dataset(name, weighted=weighted)
 
 
+def _engine_config(args: argparse.Namespace) -> "EngineConfig":
+    from repro.engine.config import EngineConfig
+
+    return EngineConfig(
+        num_workers=getattr(args, "num_workers", 4),
+        backend=getattr(args, "backend", "serial"),
+        partitioner=getattr(args, "partitioner", "hash"),
+    )
+
+
 def _make_analytic(args: argparse.Namespace):
     name = args.analytic
     epsilon = getattr(args, "approx_eps", None)
@@ -162,6 +172,16 @@ def _start_trace(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
     sink = JsonlSink(path) if fmt == "jsonl" else InMemorySink()
     tracer = Tracer(sink, registry=get_registry())
     set_tracer(tracer)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        # Stamp the execution configuration into the trace so a recorded
+        # run is attributable to its backend/partitioning setup.
+        tracer.event(
+            "run-config", "meta",
+            backend=backend,
+            num_workers=getattr(args, "num_workers", 4),
+            partitioner=getattr(args, "partitioner", "hash"),
+        )
     return {"tracer": tracer, "sink": sink, "fmt": fmt, "path": path}
 
 
@@ -186,11 +206,14 @@ def _finish_trace(ctx: Optional[Dict[str, Any]]) -> None:
 # ---------------------------------------------------------------------------
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args))
+    config = _engine_config(args)
+    ariadne = Ariadne(graph, _make_analytic(args), config)
     start = time.perf_counter()
     result = ariadne.baseline()
     elapsed = time.perf_counter() - start
     print(f"analytic:    {ariadne.analytic.name}")
+    print(f"backend:     {config.backend} ({config.num_workers} workers, "
+          f"{config.partitioner} partitioning)")
     print(f"graph:       |V|={graph.num_vertices} |E|={graph.num_edges}")
     print(f"supersteps:  {result.num_supersteps} ({result.halt_reason})")
     print(f"messages:    {result.metrics.total_messages}")
@@ -201,7 +224,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_monitor(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args))
+    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
     result = ariadne.query_online(_query_text(args), params=_params(args.param))
     print(f"online run: {result.analytic.num_supersteps} supersteps, "
           f"{result.query.wall_seconds:.3f}s")
@@ -212,7 +235,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 def cmd_apt(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args))
+    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
     result = ariadne.apt(epsilon=args.eps)
     safe = result.query.count("safe")
     unsafe = result.query.count("unsafe")
@@ -229,7 +252,7 @@ def cmd_apt(args: argparse.Namespace) -> int:
 
 def cmd_capture(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args))
+    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
     query = _query_text(args) if (args.query or args.query_file) else (
         Q.CAPTURE_FULL_QUERY
     )
@@ -384,6 +407,15 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--source", type=int, default=0, help="SSSP source")
     parser.add_argument("--approx-eps", type=float, default=None,
                         help="run the approximate analytic variant")
+    parser.add_argument("--backend", choices=("serial", "parallel"),
+                        default="serial",
+                        help="execution backend: in-process simulation or "
+                             "multiprocess workers (default: serial)")
+    parser.add_argument("--num-workers", type=int, default=4,
+                        help="worker count (simulated or real processes)")
+    parser.add_argument("--partitioner", choices=("hash", "range"),
+                        default="hash",
+                        help="vertex partitioning strategy (default: hash)")
 
 
 def _add_query_args(parser: argparse.ArgumentParser) -> None:

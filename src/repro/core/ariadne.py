@@ -23,8 +23,9 @@ from typing import Any, Callable, Dict, Optional, Union
 from repro.analytics.base import Analytic
 from repro.core import queries as Q
 from repro.engine.config import EngineConfig
-from repro.engine.engine import PregelEngine, RunResult
+from repro.engine.engine import RunResult
 from repro.errors import ReproError
+from repro.parallel.backend import make_engine
 from repro.graph.digraph import DiGraph
 from repro.pql.ast import Program
 from repro.provenance.store import ProvenanceStore
@@ -60,7 +61,7 @@ class Ariadne:
     # ------------------------------------------------------------------
     def baseline(self, max_supersteps: Optional[int] = None) -> RunResult:
         """Run the unmodified analytic (the Giraph bar in every figure)."""
-        engine = PregelEngine(self.graph, config=self.config)
+        engine = make_engine(self.graph, config=self.config)
         return engine.run(self.analytic.make_program(), max_supersteps)
 
     def query_online(

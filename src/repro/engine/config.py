@@ -29,6 +29,16 @@ class EngineConfig:
             vertices run in canonical vertex order, so results are
             byte-identical to a full scan; turn off only to measure the
             scheduler itself or to reproduce the seed engine's behavior.
+        backend: which execution backend :func:`repro.parallel.make_engine`
+            builds — ``"serial"`` (the in-process simulation) or
+            ``"parallel"`` (the shared-nothing multiprocess backend of
+            :mod:`repro.parallel`, one OS process per worker). Both produce
+            byte-identical results; the parallel backend measures
+            cross-worker traffic instead of simulating it.
+        partitioner: vertex partitioning strategy the engine factory uses
+            when no explicit partitioner object is supplied — ``"hash"``
+            (stable crc32 hash, Giraph's default) or ``"range"``
+            (contiguous integer ranges, integer ids only).
     """
 
     num_workers: int = 4
@@ -37,9 +47,19 @@ class EngineConfig:
     use_combiner: bool = True
     deterministic_delivery: bool = False
     frontier_scheduling: bool = True
+    backend: str = "serial"
+    partitioner: str = "hash"
 
     def validate(self) -> None:
         if self.num_workers < 1:
             raise EngineError("num_workers must be >= 1")
         if self.max_supersteps < 1:
             raise EngineError("max_supersteps must be >= 1")
+        if self.backend not in ("serial", "parallel"):
+            raise EngineError(
+                f"unknown backend {self.backend!r} (serial | parallel)"
+            )
+        if self.partitioner not in ("hash", "range"):
+            raise EngineError(
+                f"unknown partitioner {self.partitioner!r} (hash | range)"
+            )

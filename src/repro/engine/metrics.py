@@ -31,6 +31,10 @@ class SuperstepMetrics:
     messages_combined: int = 0
     cross_worker_messages: int = 0
     message_bytes: int = 0
+    # Bytes of pickled message batches that actually crossed a process
+    # boundary. Always 0 on the serial backend (nothing is serialized);
+    # the multiprocess backend measures the real blob sizes it ships.
+    network_bytes: int = 0
     wall_seconds: float = 0.0
     # Scheduler counters: how many vertices the superstep scheduled
     # (frontier) and how many it never had to look at. Under full-scan
@@ -75,6 +79,11 @@ class RunMetrics:
         return sum(s.cross_worker_messages for s in self.supersteps)
 
     @property
+    def total_network_bytes(self) -> int:
+        """Measured bytes shipped between worker processes (0 when serial)."""
+        return sum(s.network_bytes for s in self.supersteps)
+
+    @property
     def total_frontier_size(self) -> int:
         """Total vertices scheduled across all supersteps."""
         return sum(s.frontier_size for s in self.supersteps)
@@ -107,6 +116,7 @@ class RunMetrics:
                 self.total_message_bytes if self.track_message_bytes else None
             ),
             "cross_worker_messages": self.total_cross_worker_messages,
+            "network_bytes": self.total_network_bytes,
             "frontier_vertices": self.total_frontier_size,
             "skipped_vertices": self.total_skipped_vertices,
         }
@@ -142,6 +152,10 @@ class RunMetrics:
             "repro_engine_cross_worker_messages_total",
             "messages that crossed a worker boundary",
         ).inc(self.total_cross_worker_messages)
+        registry.counter(
+            "repro_engine_network_bytes_total",
+            "pickled message-batch bytes shipped between worker processes",
+        ).inc(self.total_network_bytes)
         registry.counter(
             "repro_engine_skipped_vertices_total",
             "vertices the frontier scheduler never executed",

@@ -1,17 +1,50 @@
 """Vertex partitioners.
 
-The simulated engine splits the vertex set across N workers exactly like
-Giraph does: by default hash partitioning on the vertex id. Range
-partitioning is provided for experiments on locality (messages between
-vertices on the same worker are "local"; crossing a partition boundary counts
-as simulated network traffic in the engine metrics).
+The engine splits the vertex set across N workers exactly like Giraph does:
+by default hash partitioning on the vertex id. Range partitioning is provided
+for experiments on locality (messages between vertices on the same worker are
+"local"; crossing a partition boundary counts as network traffic in the
+engine metrics — simulated by the serial engine, measured by the
+multiprocess backend in :mod:`repro.parallel`).
+
+Partition assignments must be *stable*: the parallel backend computes the
+vertex -> worker map once in the master and every worker process routes
+messages with a forked copy of it, and checkpoint/resume as well as
+cross-run comparisons assume the same id always lands on the same worker.
+Python's builtin ``hash`` is salted per process for ``str`` (and anything
+containing one), so :class:`HashPartitioner` hashes with ``zlib.crc32`` over
+a canonical encoding instead.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Hashable, List, Sequence
 
 from repro.errors import EngineError
+
+
+def stable_hash(vertex_id: Hashable) -> int:
+    """Process- and run-independent hash of a vertex id.
+
+    Integers (the library's common case) hash to themselves, preserving the
+    perfect balance of dense id spaces and the seed engine's assignments.
+    Everything else is hashed with ``crc32`` over a canonical UTF-8
+    encoding (the string itself for ``str`` ids, ``repr`` for other
+    hashables such as tuples of scalars) — deterministic across processes,
+    unlike ``hash``, which Python salts per process for strings.
+    """
+    if isinstance(vertex_id, bool):
+        return int(vertex_id)
+    if isinstance(vertex_id, int):
+        return vertex_id
+    if isinstance(vertex_id, str):
+        data = vertex_id.encode("utf-8", "surrogatepass")
+    elif isinstance(vertex_id, bytes):
+        data = vertex_id
+    else:
+        data = repr(vertex_id).encode("utf-8", "surrogatepass")
+    return zlib.crc32(data)
 
 
 class Partitioner:
@@ -34,14 +67,17 @@ class Partitioner:
 
 
 class HashPartitioner(Partitioner):
-    """Giraph's default: ``hash(id) mod workers``.
+    """Giraph's default: ``stable_hash(id) mod workers``.
 
-    Integer ids hash to themselves in Python, so for the dense integer id
-    spaces our generators produce this is also perfectly balanced.
+    Integer ids hash to themselves, so for the dense integer id spaces our
+    generators produce this is also perfectly balanced. String ids are
+    crc32-hashed, so the assignment is identical in every process and every
+    run — a requirement of the multiprocess backend (workers fork with a
+    shared routing map) that Python's salted ``hash()`` violates.
     """
 
     def worker_of(self, vertex_id: Hashable) -> int:
-        return hash(vertex_id) % self.num_workers
+        return stable_hash(vertex_id) % self.num_workers
 
 
 class RangePartitioner(Partitioner):

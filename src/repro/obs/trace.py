@@ -135,6 +135,11 @@ class NullTracer:
               **attrs: Any) -> None:
         pass
 
+    def ingest(self, events: List[Dict[str, Any]],
+               parent_id: Optional[int] = None,
+               **extra_attrs: Any) -> None:
+        pass
+
     def flush(self) -> None:
         pass
 
@@ -247,6 +252,48 @@ class Tracer:
             "dur": (span.end_ns - span.start_ns) // 1000,
             "attrs": span.attrs,
         })
+
+    def ingest(self, events: List[Dict[str, Any]],
+               parent_id: Optional[int] = None,
+               **extra_attrs: Any) -> None:
+        """Merge events recorded by another tracer into this trace.
+
+        The parallel backend gives every worker process its own tracer
+        over an in-memory sink and ships the drained events to the master
+        at each barrier; this grafts them into the master trace. Span ids
+        are remapped to fresh ids from this tracer's sequence (worker
+        tracers all start at 1, and the validator rejects duplicates);
+        parent links are rewritten consistently, and spans that were roots
+        in the worker are reparented under ``parent_id`` (typically the
+        master's superstep span). ``extra_attrs`` (e.g. ``worker=3``) are
+        stamped onto every ingested event.
+        """
+        id_map: Dict[int, int] = {}
+        for event in events:
+            old_id = event.get("id")
+            if old_id is not None:
+                id_map[old_id] = self._next_id
+                self._next_id += 1
+        for event in events:
+            event = dict(event)
+            if extra_attrs:
+                attrs = dict(event.get("attrs") or {})
+                attrs.update(extra_attrs)
+                event["attrs"] = attrs
+            old_id = event.get("id")
+            if old_id is not None:
+                event["id"] = id_map[old_id]
+            old_parent = event.get("parent")
+            if old_parent is not None and old_parent in id_map:
+                event["parent"] = id_map[old_parent]
+            elif "parent" in event or event.get("type") == "span":
+                event["parent"] = parent_id
+            if event.get("type") == "span" and self._span_seconds is not None:
+                self._span_seconds.labels(event["cat"]).observe(
+                    event.get("dur", 0) / 1e6
+                )
+                self._span_total.labels(event["cat"]).inc()
+            self.sink.emit(event)
 
     def flush(self) -> None:
         self.sink.flush()

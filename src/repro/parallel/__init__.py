@@ -1,0 +1,27 @@
+"""Shared-nothing multiprocess execution backend.
+
+The serial engine *simulates* ``num_workers`` workers in one process;
+this package runs them as real forked OS processes, one graph shard each,
+exchanging pickled message batches with a master-coordinated superstep
+barrier — and still produces byte-identical results (see
+``DESIGN.md`` section 7 for the protocol and the determinism argument).
+"""
+
+from repro.parallel.backend import build_partitioner, make_engine
+from repro.parallel.engine import ParallelEngine
+from repro.parallel.messages import (
+    BarrierReport,
+    FinalReport,
+    ShardCheckpoint,
+    merge_shard_checkpoints,
+)
+
+__all__ = [
+    "BarrierReport",
+    "FinalReport",
+    "ParallelEngine",
+    "ShardCheckpoint",
+    "build_partitioner",
+    "make_engine",
+    "merge_shard_checkpoints",
+]

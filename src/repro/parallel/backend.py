@@ -1,0 +1,40 @@
+"""Engine factory: one place that turns an :class:`EngineConfig` into the
+right execution backend.
+
+Callers that used to construct ``PregelEngine(graph, config=config)``
+directly switch to :func:`make_engine` and gain the multiprocess backend
+for free whenever ``config.backend == "parallel"`` — the two engines share
+the ``run()`` contract and produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import HashPartitioner, Partitioner, RangePartitioner
+from repro.parallel.engine import ParallelEngine
+
+
+def build_partitioner(config: EngineConfig, graph: DiGraph) -> Partitioner:
+    """The partitioner named by ``config.partitioner``."""
+    if config.partitioner == "range":
+        return RangePartitioner(config.num_workers, max(graph.num_vertices, 1))
+    return HashPartitioner(config.num_workers)
+
+
+def make_engine(
+    graph: DiGraph,
+    config: Optional[EngineConfig] = None,
+    partitioner: Optional[Partitioner] = None,
+):
+    """Build the engine ``config.backend`` names (serial by default)."""
+    config = config or EngineConfig()
+    config.validate()
+    if partitioner is None:
+        partitioner = build_partitioner(config, graph)
+    if config.backend == "parallel":
+        return ParallelEngine(graph, config=config, partitioner=partitioner)
+    return PregelEngine(graph, config=config, partitioner=partitioner)

@@ -1,0 +1,414 @@
+"""Worker-process side of the multiprocess backend.
+
+A worker owns one graph shard: the values, halt flags and inbox of its
+vertices. Each superstep it computes the local frontier in canonical
+vertex order, buckets outgoing messages per destination worker, ships one
+pickled batch to every peer, merges the batches it receives back into its
+inbox, and reports counters (plus aggregator contributions, drained trace
+events and optionally a shard checkpoint) to the master.
+
+Determinism is the whole design: the serial engine delivers messages in
+global send order (vertices compute in canonical order, sends append), so
+every message is tagged ``(sender_pos, seq)`` and receivers k-way-merge
+their per-source batches on that key — per-worker batches are already
+sorted because each worker iterates its shard in canonical order. Message
+combining is applied *after* the merge, at the receiver, folding in
+exactly the order the serial engine folded at send time (receiver-side
+combining keeps float reductions byte-identical; local pre-combining
+would reorder them). Aggregator contributions are likewise shipped raw
+with their ``(sender_pos, seq)`` tags and folded master-side in global
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.engine.engine import NO_MESSAGES
+from repro.engine.ordering import delivery_key
+from repro.engine.vertex import VertexContext
+from repro.errors import EngineError, GraphError, VertexProgramError
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import (
+    NULL_TRACER,
+    PHASE_COMPUTE,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+from repro.parallel.messages import (
+    CMD_ABORT,
+    CMD_FINISH,
+    CMD_STEP,
+    BarrierReport,
+    FinalReport,
+    ShardCheckpoint,
+    TaggedMessage,
+)
+from repro.sizemodel import estimate_bytes
+
+
+def _tag_key(message: TaggedMessage) -> Tuple[int, int]:
+    return (message[1], message[2])
+
+
+class WorkerAggregators:
+    """Shard-local stand-in for the master's aggregator registry.
+
+    ``aggregate`` records raw ``(sender_pos, seq, name, value)``
+    contributions for master-side reduction; ``value`` answers reads from
+    the previous-superstep values the master broadcast with the step
+    command. Unknown names raise ``KeyError`` exactly like the real
+    registry, so vertex programs fail identically on both backends.
+    """
+
+    def __init__(self, names: Set[str]) -> None:
+        self._names = names
+        self.previous: Dict[str, Any] = {}
+        self.contributions: List[Tuple[int, int, str, Any]] = []
+        self._pos = 0
+        self._seq = 0
+
+    def aggregate(self, name: str, value: Any) -> None:
+        if name not in self._names:
+            raise KeyError(name)
+        self.contributions.append((self._pos, self._seq, name, value))
+        self._seq += 1
+
+    def value(self, name: str) -> Any:
+        return self.previous[name]
+
+    def drain(self) -> List[Tuple[int, int, str, Any]]:
+        out = self.contributions
+        self.contributions = []
+        return out
+
+
+class ShardRuntime:
+    """The engine protocol surface (``graph`` / ``aggregators`` /
+    ``_send`` / ``_edges_of`` / ...) over one shard, driven by master
+    commands. One instance lives for the whole run of one worker."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        graph: Any,
+        program: Any,
+        config: Any,
+        shard: List[Any],
+        worker_of: Dict[Any, int],
+        order_of: Dict[Any, int],
+        data_queues: List[Any],
+        cmd_queue: Any,
+        ctrl_queue: Any,
+    ) -> None:
+        self.worker_id = worker_id
+        self.graph = graph
+        self.program = program
+        self.config = config
+        self.shard = shard
+        self._worker_of = worker_of
+        self._order_of = order_of
+        self._data_queues = data_queues
+        self._cmd = cmd_queue
+        self._ctrl = ctrl_queue
+        self._num_workers = len(data_queues)
+        self._peers = [
+            w for w in range(self._num_workers) if w != worker_id
+        ]
+        self.aggregators = WorkerAggregators(set(program.aggregators()))
+        self._combiner = program.combiner() if config.use_combiner else None
+        self._track_bytes = config.track_message_bytes
+        self._deterministic = config.deterministic_delivery
+        self._adjacency = graph.out_edges_map()
+        self._edge_overlay: Dict[Any, Dict[Any, Any]] = {}
+        # Per-destination-worker outboxes of tagged messages; each stays
+        # sorted by (sender_pos, seq) because the shard is iterated in
+        # canonical order and seq is monotonic.
+        self._outboxes: List[List[TaggedMessage]] = [
+            [] for _ in range(self._num_workers)
+        ]
+        self._seq = 0
+        self._sender_pos = 0
+        self._values: Dict[Any, Any] = {}
+        self._active: Set[Any] = set()
+        self._inbox: Dict[Any, List[Any]] = {}
+        self._report: Optional[BarrierReport] = None
+        self._ctx = VertexContext(self)
+        self._sink: Optional[InMemorySink] = None
+
+    # ------------------------------------------------------------------
+    # engine protocol surface (same contract as PregelEngine)
+    # ------------------------------------------------------------------
+    def _edges_of(self, vertex_id: Any) -> List[Tuple[Any, Any]]:
+        if not self._edge_overlay:
+            try:
+                return self._adjacency[vertex_id]
+            except KeyError:
+                raise GraphError(f"unknown vertex {vertex_id!r}") from None
+        base = self.graph.out_edges(vertex_id)
+        overlay = self._edge_overlay.get(vertex_id)
+        if not overlay:
+            return base
+        return [(t, overlay.get(t, value)) for t, value in base]
+
+    def _edge_value(self, u: Any, v: Any) -> Any:
+        overlay = self._edge_overlay.get(u)
+        if overlay and v in overlay:
+            return overlay[v]
+        return self.graph.edge_value(u, v)
+
+    def _set_edge_value(self, u: Any, v: Any, value: Any) -> None:
+        if not self.graph.has_edge(u, v):
+            raise EngineError(f"cannot set value of missing edge {u!r}->{v!r}")
+        self._edge_overlay.setdefault(u, {})[v] = value
+
+    def _send(self, sender: Any, target: Any, message: Any) -> None:
+        worker = self._worker_of.get(target)
+        if worker is None:
+            raise EngineError(f"message to unknown vertex {target!r}")
+        report = self._report
+        report.messages_sent += 1
+        if worker != self.worker_id:
+            report.cross_worker_messages += 1
+        if self._track_bytes:
+            report.message_bytes += estimate_bytes(message)
+        self._outboxes[worker].append(
+            (target, self._sender_pos, self._seq, message)
+        )
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def serve(self, traced: bool) -> None:
+        """Process master commands until finish/abort. Never raises: every
+        failure is shipped to the master inside a report."""
+        # A fresh tracer per worker: the master's tracer (and its file
+        # handles) must not be written from a forked process.
+        if traced:
+            self._sink = InMemorySink()
+            set_tracer(Tracer(self._sink))
+        else:
+            set_tracer(NULL_TRACER)
+        program = self.program
+        try:
+            begin = getattr(program, "parallel_worker_begin", None)
+            if begin is not None:
+                begin(self.worker_id, self.shard)
+            self._values = {
+                v: program.initial_value(v, self.graph) for v in self.shard
+            }
+            self._active = set(self.shard)
+        except BaseException as exc:  # noqa: BLE001 - shipped to master
+            self._ctrl.put(FinalReport(self.worker_id, error=self._wrap(exc)))
+            return
+        while True:
+            command = self._cmd.get()
+            kind = command[0]
+            if kind == CMD_STEP:
+                report = self._superstep(command[1], command[2], command[3])
+                self._ctrl.put(report)
+                if report.error is not None:
+                    return  # the master aborts the run; nothing more to do
+            elif kind == CMD_FINISH:
+                self._ctrl.put(self._finish())
+                return
+            elif kind == CMD_ABORT:
+                return
+            else:  # pragma: no cover - protocol bug
+                self._ctrl.put(FinalReport(
+                    self.worker_id,
+                    error=EngineError(f"unknown command {kind!r}"),
+                ))
+                return
+
+    def _superstep(
+        self, superstep: int, agg_values: Dict[str, Any], checkpoint: bool
+    ) -> BarrierReport:
+        report = BarrierReport(self.worker_id, superstep)
+        self._report = report
+        try:
+            self._compute(superstep, agg_values, report)
+            self._exchange(superstep, report)
+            if checkpoint:
+                report.checkpoint = self._shard_checkpoint(superstep + 1)
+        except BaseException as exc:  # noqa: BLE001 - shipped to master
+            report.error = self._wrap(exc)
+        report.aggregations = self.aggregators.drain()
+        report.trace_events = self._drain_trace()
+        self._report = None
+        return report
+
+    def _compute(
+        self, superstep: int, agg_values: Dict[str, Any], report: BarrierReport
+    ) -> None:
+        aggregators = self.aggregators
+        aggregators.previous = agg_values
+        inbox = self._inbox
+        active = self._active
+        values = self._values
+        order_of = self._order_of
+        deterministic = self._deterministic
+        ctx = self._ctx
+        bind = ctx._bind
+        compute = self.program.compute
+        span = None
+        if self._sink is not None:
+            span = get_tracer().span(
+                "compute", PHASE_COMPUTE, superstep=superstep
+            )
+
+        if inbox:
+            schedule: Set[Any] = set(active)
+            schedule.update(inbox)
+        else:
+            schedule = active
+        for vertex_id in sorted(schedule, key=order_of.__getitem__):
+            messages = inbox.get(vertex_id)
+            report.executed += 1
+            pos = order_of[vertex_id]
+            self._sender_pos = pos
+            aggregators._pos = pos
+            if messages is not None and deterministic:
+                messages.sort(key=delivery_key)
+            bind(vertex_id, superstep, values[vertex_id])
+            try:
+                compute(ctx, messages if messages is not None else NO_MESSAGES)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except VertexProgramError:
+                raise
+            except Exception as exc:
+                raise VertexProgramError(vertex_id, superstep, exc) from exc
+            if ctx._value_changed:
+                values[vertex_id] = ctx._value
+            if ctx._halted:
+                active.discard(vertex_id)
+            else:
+                active.add(vertex_id)
+        if span is not None:
+            span.end(
+                active_vertices=report.executed,
+                messages_sent=report.messages_sent,
+            )
+        report.active_after = len(active)
+
+    def _exchange(self, superstep: int, report: BarrierReport) -> None:
+        """Ship outgoing batches, collect incoming ones, rebuild the inbox
+        in global send order, and apply the combiner receiver-side."""
+        outboxes = self._outboxes
+        self._outboxes = [[] for _ in range(self._num_workers)]
+        for peer in self._peers:
+            blob = pickle.dumps(
+                (superstep, self.worker_id, outboxes[peer]),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            report.network_bytes += len(blob)
+            self._data_queues[peer].put(blob)
+
+        batches: List[List[TaggedMessage]] = [outboxes[self.worker_id]]
+        pending = set(self._peers)
+        own_queue = self._data_queues[self.worker_id]
+        while pending:
+            step, src, batch = pickle.loads(own_queue.get())
+            if step != superstep or src not in pending:
+                raise EngineError(
+                    f"worker {self.worker_id}: unexpected batch from "
+                    f"{src} at superstep {step} (expected {superstep})"
+                )
+            pending.discard(src)
+            if batch:
+                batches.append(batch)
+
+        inbox: Dict[Any, List[Any]] = {}
+        combiner = self._combiner
+        if combiner is None:
+            for target, _pos, _seq, payload in heapq.merge(
+                *batches, key=_tag_key
+            ):
+                box = inbox.get(target)
+                if box is None:
+                    inbox[target] = [payload]
+                else:
+                    box.append(payload)
+        else:
+            combine = combiner.combine
+            for target, _pos, _seq, payload in heapq.merge(
+                *batches, key=_tag_key
+            ):
+                box = inbox.get(target)
+                if box is None:
+                    inbox[target] = [payload]
+                else:
+                    box[0] = combine(box[0], payload)
+                    report.messages_combined += 1
+        self._inbox = inbox
+
+    def _shard_checkpoint(self, next_superstep: int) -> ShardCheckpoint:
+        return ShardCheckpoint(
+            worker_id=self.worker_id,
+            superstep=next_superstep,
+            values=dict(self._values),
+            halted={v: v not in self._active for v in self.shard},
+            inbox={t: list(msgs) for t, msgs in self._inbox.items()},
+            edge_overlay={
+                u: dict(targets) for u, targets in self._edge_overlay.items()
+            },
+        )
+
+    def _finish(self) -> FinalReport:
+        report = FinalReport(self.worker_id)
+        try:
+            program = self.program
+            end = getattr(program, "parallel_worker_end", None)
+            if end is not None:
+                end()
+            state = getattr(program, "parallel_state", None)
+            report.values = self._values
+            report.edge_overlay = self._edge_overlay
+            report.program_state = state() if state is not None else None
+        except BaseException as exc:  # noqa: BLE001 - shipped to master
+            report.error = self._wrap(exc)
+        report.trace_events = self._drain_trace()
+        return report
+
+    def _drain_trace(self) -> List[Dict[str, Any]]:
+        sink = self._sink
+        if sink is None or not sink.events:
+            return []
+        events = sink.events
+        sink.events = []
+        return events
+
+    @staticmethod
+    def _wrap(exc: BaseException) -> BaseException:
+        """Make sure an exception survives the trip through the queue."""
+        try:
+            pickle.loads(pickle.dumps(exc))
+            return exc
+        except Exception:
+            return EngineError(f"worker error (unpicklable): {exc!r}")
+
+
+def worker_main(
+    worker_id: int,
+    graph: Any,
+    program: Any,
+    config: Any,
+    shard: List[Any],
+    worker_of: Dict[Any, int],
+    order_of: Dict[Any, int],
+    data_queues: List[Any],
+    cmd_queue: Any,
+    ctrl_queue: Any,
+    traced: bool,
+) -> None:
+    """Entry point of a forked worker process."""
+    runtime = ShardRuntime(
+        worker_id, graph, program, config, shard, worker_of, order_of,
+        data_queues, cmd_queue, ctrl_queue,
+    )
+    runtime.serve(traced)

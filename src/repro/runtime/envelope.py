@@ -47,6 +47,19 @@ class Envelope:
             self._sort_key = key
         return key
 
+    def __getstate__(self) -> Tuple[Any, Any, Optional[Dict[str, Sequence[Row]]]]:
+        # __slots__ classes have no __dict__, so spell out pickle state.
+        # The cached sort key is dropped: OrderKey objects may wrap
+        # arbitrary payloads more cheaply than they pickle, and the
+        # receiving process recomputes it lazily anyway.
+        return (self.sender, self.payload, self.tables)
+
+    def __setstate__(
+        self, state: Tuple[Any, Any, Optional[Dict[str, Sequence[Row]]]]
+    ) -> None:
+        self.sender, self.payload, self.tables = state
+        self._sort_key = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         n = sum(len(rows) for rows in self.tables.values()) if self.tables else 0
         return f"Envelope(from={self.sender!r}, tables={n})"

@@ -32,13 +32,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Un
 
 from repro.analytics.base import Analytic
 from repro.engine.config import EngineConfig
-from repro.engine.engine import PregelEngine
 from repro.engine.vertex import VertexContext, VertexProgram
 from repro.errors import PQLCompatibilityError
 from repro.graph.digraph import DiGraph
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.trace import PHASE_CAPTURE, PHASE_QUERY, get_tracer
+from repro.parallel.backend import make_engine
 from repro.pql.analysis import CompiledQuery, compile_query, relation_windows
 from repro.pql.ast import Program
 from repro.pql.eval import MODE_ANCHORED, MODE_FREE, prepare_strata, run_prepared, run_strata
@@ -241,6 +241,12 @@ class OnlineQueryProgram(VertexProgram):
         self._trace_superstep = -1
         self._capture_ns = 0
         self._eval_ns = 0
+        # Parallel-backend merge state: counter baselines recorded at
+        # worker start (the wrapper is forked after run_setup, so worker
+        # deltas must exclude the inherited setup work) and transient-row
+        # counts folded in from worker shards at merge time.
+        self._parallel_base: Dict[str, Any] = {}
+        self._merged_transient_rows = 0
 
     # -- delegation to the analytic --------------------------------------
     def initial_value(self, vertex_id: Any, graph: Any) -> Any:
@@ -397,6 +403,88 @@ class OnlineQueryProgram(VertexProgram):
             "window-pruning partition checks", labels=("outcome",),
         ).labels("miss").inc(self.prune_misses)
 
+    # -- multiprocess backend hooks ---------------------------------------
+    # The parallel engine duck-types these: each worker process runs this
+    # same (forked) wrapper over its shard, ships its state back on
+    # shutdown, and the master folds the shards into its own copy so the
+    # result-building code below works unchanged on both backends.
+    def parallel_worker_begin(self, worker_id: int, shard: Sequence[Any]) -> None:
+        """Called in a freshly forked worker before superstep 0."""
+        # The construction-time tracer belongs to the master process;
+        # re-resolve against the worker's own (fresh) tracer.
+        self._tracer = get_tracer()
+        self._traced = self._tracer.enabled
+        self._trace_superstep = -1
+        self._capture_ns = 0
+        self._eval_ns = 0
+        self._parallel_base = {
+            "derivations": self.derivations,
+            "shipped_tuples": self.shipped_tuples,
+            "pruned_rows": self.pruned_rows,
+            "prune_hits": self.prune_hits,
+            "prune_misses": self.prune_misses,
+            "query_seconds": self.query_seconds,
+        }
+
+    def parallel_worker_end(self) -> None:
+        """Called in the worker on shutdown, before the final trace drain."""
+        if self._traced:
+            self._flush_phase_spans()
+            self._trace_superstep = -1
+
+    def parallel_state(self) -> Dict[str, Any]:
+        """Shard state shipped to the master on shutdown.
+
+        Derived rows are shipped sorted by ``repr`` — partition sets
+        iterate in a salted-hash order that differs across processes, and
+        the wire payload must be deterministic. The master deduplicates on
+        replay, so the static-setup rows every fork inherited merge away.
+        """
+        base = self._parallel_base
+        derived = self.db.derived
+        return {
+            "derived": [
+                (rel, sorted(derived.all_rows(rel), key=repr))
+                for rel in sorted(derived.relations())
+            ],
+            "counters": {
+                "derivations": self.derivations - base["derivations"],
+                "shipped_tuples": self.shipped_tuples - base["shipped_tuples"],
+                "pruned_rows": self.pruned_rows - base["pruned_rows"],
+                "prune_hits": self.prune_hits - base["prune_hits"],
+                "prune_misses": self.prune_misses - base["prune_misses"],
+                "query_seconds": self.query_seconds - base["query_seconds"],
+            },
+            "transient_rows": self.db.local.num_rows(),
+        }
+
+    def merge_parallel_states(self, states: Sequence[Any]) -> None:
+        """Fold worker shard states (in worker-id order) into this copy.
+
+        Replaying derived rows through ``db.add`` persists fresh head
+        tuples into the capture store exactly once: rows already present
+        (the static setup every worker inherited) dedupe to no-ops.
+        """
+        for state in states:
+            if state is None:
+                continue
+            add = self.db.add
+            for rel, rows in state["derived"]:
+                for row in rows:
+                    add(rel, row)
+            counters = state["counters"]
+            self.derivations += counters["derivations"]
+            self.shipped_tuples += counters["shipped_tuples"]
+            self.pruned_rows += counters["pruned_rows"]
+            self.prune_hits += counters["prune_hits"]
+            self.prune_misses += counters["prune_misses"]
+            self.query_seconds += counters["query_seconds"]
+            self._merged_transient_rows += state["transient_rows"]
+
+    def transient_row_count(self) -> int:
+        """Auto-captured transient rows, including worker shards."""
+        return self.db.local.num_rows() + self._merged_transient_rows
+
     def _delta_tables(
         self, vertex: Any, target: Any
     ) -> Optional[Dict[str, List[Tuple[Any, ...]]]]:
@@ -467,7 +555,7 @@ def run_online(
         config or EngineConfig(),
         use_combiner=False,  # envelopes carry senders and tables
     )
-    engine = PregelEngine(graph, config=engine_config)
+    engine = make_engine(graph, config=engine_config)
     run = engine.run(wrapper, max_supersteps=max_supersteps)
     wrapper.finish_trace()
     logger.debug(
@@ -488,7 +576,7 @@ def run_online(
             "pruned_rows": wrapper.pruned_rows,
             "prune_hits": wrapper.prune_hits,
             "prune_misses": wrapper.prune_misses,
-            "transient_rows": wrapper.db.local.num_rows(),
+            "transient_rows": wrapper.transient_row_count(),
             "shipped_tuples": wrapper.shipped_tuples,
         },
     )

@@ -35,8 +35,8 @@ class TestRunMetrics:
         summary = metrics.summary()
         assert set(summary) == {
             "supersteps", "wall_seconds", "vertex_executions", "messages",
-            "message_bytes", "cross_worker_messages", "frontier_vertices",
-            "skipped_vertices",
+            "message_bytes", "cross_worker_messages", "network_bytes",
+            "frontier_vertices", "skipped_vertices",
         }
 
     def test_summary_message_bytes_none_when_untracked(self):

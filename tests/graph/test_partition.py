@@ -3,7 +3,11 @@
 import pytest
 
 from repro.errors import EngineError
-from repro.graph.partition import HashPartitioner, RangePartitioner
+from repro.graph.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    stable_hash,
+)
 
 
 class TestHashPartitioner:
@@ -45,3 +49,98 @@ class TestRangePartitioner:
     def test_rejects_empty(self):
         with pytest.raises(EngineError):
             RangePartitioner(2, 0)
+
+
+class TestStableHash:
+    """The salted-``hash()`` regression (satellite 1).
+
+    Python randomizes ``hash(str)`` per process, so the old HashPartitioner
+    assigned string-id vertices differently on every run — fatal for a
+    forked multiprocess backend that bakes the routing map into each worker.
+    These assignments are pinned: if they ever change, shard routing (and
+    any persisted per-shard artifact) silently breaks.
+    """
+
+    PINNED = {
+        "alpha": 2, "beta": 3, "gamma": 1, "delta": 1,
+        "v-0": 3, "v-1": 1, "v-2": 3, "urn:n0": 1,
+    }
+
+    def test_pinned_string_assignments(self):
+        p = HashPartitioner(4)
+        assert {v: p.worker_of(v) for v in self.PINNED} == self.PINNED
+
+    def test_stable_hash_values(self):
+        assert stable_hash("alpha") == 3504355690
+        assert stable_hash(b"alpha") == 3504355690
+        assert stable_hash("urn:n0") == 1184700557
+
+    def test_ints_hash_to_themselves(self):
+        assert stable_hash(17) == 17
+        assert stable_hash(0) == 0
+
+    def test_bools_are_ints(self):
+        assert stable_hash(True) == 1
+        assert stable_hash(False) == 0
+
+    def test_stable_in_subprocess(self):
+        """The same ids land on the same workers in a fresh interpreter
+        (where the per-process hash salt differs)."""
+        import json
+        import subprocess
+        import sys
+
+        ids = sorted(self.PINNED)
+        code = (
+            "import json, sys\n"
+            "from repro.graph.partition import HashPartitioner\n"
+            "p = HashPartitioner(4)\n"
+            f"print(json.dumps([p.worker_of(v) for v in {ids!r}]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+            env={**__import__("os").environ, "PYTHONHASHSEED": "random"},
+        ).stdout
+        assert json.loads(out) == [self.PINNED[v] for v in ids]
+
+
+class TestPartitionerProperties:
+    """Balance/stability properties shared by both partitioners."""
+
+    def test_hash_balance_on_string_ids(self):
+        p = HashPartitioner(4)
+        sizes = [len(s) for s in p.partition([f"v{i}" for i in range(1000)])]
+        assert sum(sizes) == 1000
+        # crc32 is uniform enough that no shard is more than 25% off even.
+        assert max(sizes) <= 250 * 1.25 and min(sizes) >= 250 * 0.75
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        vertices = list(range(101))
+        for p in (HashPartitioner(3), RangePartitioner(3, 101)):
+            parts = p.partition(vertices)
+            seen = [v for part in parts for v in part]
+            assert sorted(seen) == vertices
+            assert len(seen) == len(set(seen))
+
+    def test_partition_preserves_input_order_within_shard(self):
+        p = RangePartitioner(2, 10)
+        parts = p.partition([9, 3, 0, 7, 1])
+        assert parts == [[3, 0, 1], [9, 7]]
+
+    def test_fewer_vertices_than_workers(self):
+        """num_vertices < num_workers must yield (some) empty shards, not
+        an error — the parallel engine spawns a worker per shard anyway."""
+        hash_parts = HashPartitioner(8).partition([0, 1, 2])
+        range_parts = RangePartitioner(8, 3).partition([0, 1, 2])
+        for parts in (hash_parts, range_parts):
+            assert len(parts) == 8
+            assert sorted(v for part in parts for v in part) == [0, 1, 2]
+        # range with chunk=1: vertex i -> worker i, tail workers empty
+        assert range_parts[:3] == [[0], [1], [2]]
+        assert all(part == [] for part in range_parts[3:])
+
+    def test_stability_across_instances(self):
+        a, b = HashPartitioner(5), HashPartitioner(5)
+        for v in ["x", "y", 42, b"z"]:
+            assert a.worker_of(v) == b.worker_of(v)

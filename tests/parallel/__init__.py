@@ -1,0 +1,1 @@
+"""Tests for the multiprocess execution backend (repro.parallel)."""

@@ -1,0 +1,230 @@
+"""Barrier protocol behaviors: aggregators, halting, failures, checkpoints.
+
+These exercise the master/worker protocol edges that the plain equivalence
+tests do not reach — master-side aggregator reduction, error shipping across
+the process boundary, and per-shard checkpoints that a *serial* engine can
+resume from.
+"""
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.engine.aggregators import (
+    max_aggregator,
+    sum_aggregator,
+)
+from repro.engine.checkpoint import (
+    CheckpointedEngine,
+    latest_checkpoint,
+    load_checkpoint,
+    resume,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.engine import PregelEngine, run_program
+from repro.engine.vertex import VertexProgram
+from repro.errors import EngineError, VertexProgramError
+from repro.graph.generators import grid_graph, web_graph, with_random_weights
+from repro.parallel.backend import make_engine
+from repro.parallel.engine import ParallelEngine
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_graph(6, 6)
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(100, avg_degree=4, target_diameter=8, seed=41), seed=41
+    )
+
+
+def _parallel(graph, workers, **kwargs):
+    config = EngineConfig(num_workers=workers, backend="parallel")
+    return ParallelEngine(graph, config=config, **kwargs)
+
+
+class DegreeSum(VertexProgram):
+    """Aggregates across all shards and halts via ``master_halt``."""
+
+    def initial_value(self, vertex_id, graph):
+        return 0
+
+    def aggregators(self):
+        return {"degree_sum": sum_aggregator(), "peak": max_aggregator()}
+
+    def compute(self, ctx, messages):
+        degree = ctx.out_degree()
+        ctx.aggregate("degree_sum", float(degree))
+        ctx.aggregate("peak", float(degree))
+        # read last superstep's reduction (lags one barrier)
+        ctx.set_value(ctx.aggregated("degree_sum"))
+        ctx.send_to_all(1)
+
+    def master_halt(self, aggregators, superstep):
+        return superstep >= 3
+
+
+class FailAt(VertexProgram):
+    def __init__(self, vertex, superstep, cause=None):
+        self.vertex = vertex
+        self.superstep = superstep
+        self.cause = cause or ValueError("boom")
+
+    def initial_value(self, vertex_id, graph):
+        return 0
+
+    def compute(self, ctx, messages):
+        if ctx.vertex_id == self.vertex and ctx.superstep == self.superstep:
+            raise self.cause
+        ctx.send_to_all(1)
+
+
+class TestAggregatorsAndHalting:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_master_halt_and_aggregator_parity(self, grid, workers):
+        serial = run_program(grid, DegreeSum())
+        parallel = _parallel(grid, workers).run(DegreeSum())
+        assert parallel.halt_reason == serial.halt_reason == "master_halt"
+        assert parallel.num_supersteps == serial.num_supersteps
+        assert parallel.values == serial.values
+        assert parallel.aggregators == serial.aggregators
+        # the reduction really crossed shard boundaries
+        assert parallel.aggregators["degree_sum"] == float(grid.num_edges)
+
+
+class TestErrorPropagation:
+    def test_vertex_error_type_and_fields(self, grid):
+        engine = _parallel(grid, 2)
+        with pytest.raises(VertexProgramError) as info:
+            engine.run(FailAt(vertex=7, superstep=2))
+        assert info.value.vertex_id == 7
+        assert info.value.superstep == 2
+        assert isinstance(info.value.cause, ValueError)
+
+    def test_matches_serial_error(self, grid):
+        with pytest.raises(VertexProgramError) as serial_info:
+            run_program(grid, FailAt(vertex=3, superstep=1))
+        with pytest.raises(VertexProgramError) as parallel_info:
+            _parallel(grid, 4).run(FailAt(vertex=3, superstep=1))
+        assert str(parallel_info.value) == str(serial_info.value)
+
+    def test_unpicklable_cause_degrades_to_repr(self, grid):
+        cause = ValueError("has a lambda")
+        cause.hook = lambda: None  # unpicklable attribute
+        engine = _parallel(grid, 2)
+        with pytest.raises(VertexProgramError) as info:
+            engine.run(FailAt(vertex=0, superstep=0, cause=cause))
+        assert info.value.vertex_id == 0
+        assert "has a lambda" in repr(info.value.cause)
+
+    def test_init_failure_is_reported(self, grid):
+        class BadInit(VertexProgram):
+            def initial_value(self, vertex_id, graph):
+                raise RuntimeError("bad seed value")
+
+            def compute(self, ctx, messages):
+                pass
+
+        with pytest.raises(Exception, match="bad seed value"):
+            _parallel(grid, 2).run(BadInit())
+
+    def test_workers_are_reaped_after_error(self, grid):
+        import multiprocessing
+
+        before = len(multiprocessing.active_children())
+        with pytest.raises(VertexProgramError):
+            _parallel(grid, 4).run(FailAt(vertex=1, superstep=1))
+        assert len(multiprocessing.active_children()) <= before
+
+
+class TestShardCheckpoints:
+    def test_interval_and_file_format(self, wgraph, tmp_path):
+        engine = _parallel(wgraph, 2, checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=3)
+        result = engine.run(SSSP(source=0).make_program())
+        assert engine.checkpoints_written == result.num_supersteps // 3
+        snapshot = load_checkpoint(latest_checkpoint(str(tmp_path)))
+        assert set(snapshot.values) == set(wgraph.vertices())
+        assert set(snapshot.halted) == set(wgraph.vertices())
+
+    def test_serial_engine_resumes_parallel_checkpoint(self, wgraph, tmp_path):
+        """The merged shard checkpoint is bit-compatible with the serial
+        format: a crash under the parallel backend restarts serially."""
+        full = run_program(wgraph, SSSP(source=0).make_program())
+        engine = _parallel(wgraph, 4, checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=3)
+        engine.run(SSSP(source=0).make_program(), max_supersteps=6)
+        resumed = resume(
+            wgraph, SSSP(source=0).make_program(), str(tmp_path), interval=3
+        )
+        assert resumed.values == full.values
+
+    def test_matches_serial_checkpoint_payload(self, wgraph, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "s", tmp_path / "p"
+        CheckpointedEngine(wgraph, str(serial_dir), interval=4).run(
+            SSSP(source=0).make_program(), max_supersteps=8)
+        _parallel(wgraph, 2, checkpoint_dir=str(parallel_dir),
+                  checkpoint_interval=4).run(
+            SSSP(source=0).make_program(), max_supersteps=8)
+        s = load_checkpoint(latest_checkpoint(str(serial_dir)))
+        p = load_checkpoint(latest_checkpoint(str(parallel_dir)))
+        assert p.superstep == s.superstep
+        assert p.values == s.values
+        assert p.halted == s.halted
+        assert p.inbox == s.inbox
+
+    def test_restore_not_supported(self, wgraph, tmp_path):
+        engine = _parallel(wgraph, 2)
+        snapshot = object()
+        with pytest.raises(EngineError, match="resume"):
+            engine.run(SSSP(source=0).make_program(), _restore=snapshot)
+
+    def test_checkpointing_rejects_provenance_wrapper(self, wgraph, tmp_path):
+        from repro.core import queries as Q
+        from repro.pql.analysis import compile_query
+        from repro.pql.parser import parse
+        from repro.pql.udf import FunctionRegistry
+        from repro.runtime.online import OnlineQueryProgram
+
+        funcs = FunctionRegistry()
+        compiled = compile_query(
+            parse(Q.SSSP_WCC_STABILITY_QUERY), functions=funcs)
+        wrapper = OnlineQueryProgram(
+            SSSP(source=0).make_program(), compiled, funcs, wgraph)
+        engine = _parallel(wgraph, 2, checkpoint_dir=str(tmp_path),
+                           checkpoint_interval=2)
+        with pytest.raises(EngineError, match="provenance"):
+            engine.run(wrapper)
+
+    def test_bad_interval(self, wgraph, tmp_path):
+        with pytest.raises(EngineError):
+            _parallel(wgraph, 2, checkpoint_dir=str(tmp_path),
+                      checkpoint_interval=-1)
+
+
+class TestFactory:
+    def test_make_engine_dispatch(self, grid):
+        serial = make_engine(grid, EngineConfig())
+        parallel = make_engine(
+            grid, EngineConfig(backend="parallel", num_workers=2))
+        assert isinstance(serial, PregelEngine)
+        assert isinstance(parallel, ParallelEngine)
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(EngineError, match="backend"):
+            EngineConfig(backend="distributed").validate()
+
+    def test_config_rejects_unknown_partitioner(self):
+        with pytest.raises(EngineError, match="partitioner"):
+            EngineConfig(partitioner="metis").validate()
+
+    def test_range_partitioner_from_config(self, grid):
+        engine = make_engine(
+            grid, EngineConfig(backend="parallel", num_workers=2,
+                               partitioner="range"))
+        result = engine.run(PageRank(num_supersteps=5).make_program())
+        serial = run_program(grid, PageRank(num_supersteps=5).make_program())
+        assert result.values == serial.values

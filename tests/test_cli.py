@@ -207,3 +207,54 @@ class TestExportAndExplainCommands:
             "explain", "--query", "query4", "--verbose",
         ]) == 0
         assert "free plan" in capsys.readouterr().out
+
+
+class TestParallelBackendFlags:
+    def test_run_parallel_matches_serial_output(self, graph_file, capsys):
+        assert main(["run", "--analytic", "sssp", "--graph", graph_file]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "run", "--analytic", "sssp", "--graph", graph_file,
+            "--backend", "parallel", "--num-workers", "2",
+        ]) == 0
+        parallel = capsys.readouterr().out
+        assert "backend:     parallel (2 workers, hash partitioning)" \
+            in parallel
+        # everything except the backend/wall lines is byte-identical
+        strip = lambda out: [l for l in out.splitlines()
+                             if not l.startswith(("backend:", "wall:"))]
+        assert strip(parallel) == strip(serial)
+
+    def test_apt_parallel(self, graph_file, capsys):
+        assert main([
+            "apt", "--analytic", "sssp", "--graph", graph_file,
+            "--eps", "0.1", "--backend", "parallel", "--num-workers", "2",
+            "--partitioner", "range",
+        ]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_backend_recorded_in_trace(self, graph_file, tmp_path, capsys):
+        from repro.obs.sinks import read_trace, validate_events
+
+        trace_file = str(tmp_path / "par.jsonl")
+        assert main([
+            "run", "--analytic", "sssp", "--graph", graph_file,
+            "--backend", "parallel", "--num-workers", "2",
+            "--trace", trace_file,
+        ]) == 0
+        events = read_trace(trace_file)
+        assert validate_events(events) == []
+        configs = [e for e in events if e.get("name") == "run-config"]
+        assert configs and configs[0]["attrs"] == {
+            "backend": "parallel", "num_workers": 2, "partitioner": "hash",
+        }
+        # worker-side compute spans were merged into the master trace
+        workers = {e["attrs"]["worker"] for e in events
+                   if e.get("type") == "span"
+                   and "worker" in e.get("attrs", {})}
+        assert workers == {0, 1}
+
+    def test_rejects_unknown_backend(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["run", "--analytic", "sssp", "--graph", graph_file,
+                  "--backend", "threads"])
