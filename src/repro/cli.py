@@ -74,6 +74,8 @@ NAMED_QUERIES: Dict[str, str] = {
     "query6": Q.SSSP_WCC_STABILITY_QUERY,
     "query7": Q.ALS_ERROR_RANGE_QUERY,
     "query8": Q.ALS_ERROR_TREND_QUERY,
+    "query9": Q.FORWARD_LINEAGE_FULL_QUERY,
+    "forward-lineage": Q.FORWARD_LINEAGE_FULL_QUERY,
     "query10": Q.BACKWARD_LINEAGE_FULL_QUERY,
     "query11": Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
     "query12": Q.BACKWARD_LINEAGE_CUSTOM_QUERY,
@@ -114,6 +116,7 @@ def _engine_config(args: argparse.Namespace) -> "EngineConfig":
         num_workers=getattr(args, "num_workers", 4),
         backend=getattr(args, "backend", "serial"),
         partitioner=getattr(args, "partitioner", "hash"),
+        query_index=not getattr(args, "no_index", False),
     )
 
 
@@ -268,7 +271,9 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 
 def _print_stratum_timings(args: argparse.Namespace,
-                           timings: Dict[int, float]) -> None:
+                           timings: Dict[int, float],
+                           index_stats: Optional[Dict[str, Any]] = None,
+                           ) -> None:
     """With ``-v``, close the query output with the compilation report
     annotated with the observed per-stratum costs (EXPLAIN + timings)."""
     try:
@@ -283,7 +288,7 @@ def _print_stratum_timings(args: argparse.Namespace,
             program = program.bind(**params)
         funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
         compiled = compile_query(program, functions=funcs)
-        print(explain(compiled, timings=timings))
+        print(explain(compiled, timings=timings, index_stats=index_stats))
     except ReproError:
         # compilation may need UDFs the CLI doesn't know; still show costs
         total = sum(timings.values()) or 1.0
@@ -299,10 +304,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     store = rebuild_store(spill)
     graph = _load_graph(args) if (args.graph or args.dataset) else None
     params = _params(args.param)
+    use_index = not getattr(args, "no_index", False)
     if args.mode == "layered":
-        result = run_layered(store, _query_text(args), graph, params)
+        result = run_layered(store, _query_text(args), graph, params,
+                             use_index=use_index)
     else:
-        result = run_naive(store, _query_text(args), graph, params)
+        result = run_naive(store, _query_text(args), graph, params,
+                           use_index=use_index)
     print(f"{args.mode} evaluation: {result.wall_seconds:.3f}s, "
           f"{result.derivations} derivations")
     _print_query_result(result)
@@ -313,7 +321,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     if getattr(args, "verbosity", 0):
         timings = result.stats.get("stratum_seconds") or {}
         if timings:
-            _print_stratum_timings(args, timings)
+            _print_stratum_timings(args, timings, index_stats=result.stats)
     return 0
 
 
@@ -416,6 +424,10 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--partitioner", choices=("hash", "range"),
                         default="hash",
                         help="vertex partitioning strategy (default: hash)")
+    parser.add_argument("--no-index", action="store_true",
+                        help="disable hash-index probing during query "
+                             "evaluation (results are identical; use for "
+                             "A/B latency comparisons)")
 
 
 def _add_query_args(parser: argparse.ArgumentParser) -> None:

@@ -130,6 +130,18 @@ problem(X, E1, E2, I)   :- avg_error(X, I, E1), avg_error(X, J, E2),
 """
 
 # ---------------------------------------------------------------------------
+# Query 9 — forward lineage over the full provenance graph (Section 6.3).
+# The offline counterpart of Query 3, and the exact mirror of Query 10:
+# trace the influence of vertex $alpha's initial value forward through the
+# full capture's message log, one superstep at a time, up to $sigma.
+# ---------------------------------------------------------------------------
+FORWARD_LINEAGE_FULL_QUERY = """
+fwd_trace(X, I)   :- superstep(X, I), I = 0, X = $alpha.
+fwd_trace(X, I)   :- receive_message(X, Y, M, I), fwd_trace(Y, J), J = I - 1.
+fwd_lineage(X, D) :- fwd_trace(X, I), value(X, D, I), I = $sigma.
+"""
+
+# ---------------------------------------------------------------------------
 # Query 10 — backward lineage over the full provenance graph (Section 6.3)
 # ---------------------------------------------------------------------------
 BACKWARD_LINEAGE_FULL_QUERY = """

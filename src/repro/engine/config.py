@@ -39,6 +39,10 @@ class EngineConfig:
             when no explicit partitioner object is supplied — ``"hash"``
             (stable crc32 hash, Giraph's default) or ``"range"``
             (contiguous integer ranges, integer ids only).
+        query_index: let online query evaluation hash-probe partitions on
+            bound argument positions instead of scanning them (see
+            :mod:`repro.pql.index`). Results are byte-identical either
+            way; turn off (CLI ``--no-index``) only for A/B latency runs.
     """
 
     num_workers: int = 4
@@ -49,6 +53,7 @@ class EngineConfig:
     frontier_scheduling: bool = True
     backend: str = "serial"
     partitioner: str = "hash"
+    query_index: bool = True
 
     def validate(self) -> None:
         if self.num_workers < 1:

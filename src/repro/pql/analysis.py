@@ -579,6 +579,7 @@ def _make_scan(
     loc_var: str,
     schema: Optional[RelationSchema],
     allow_scan_all: bool,
+    allow_probe: bool = True,
 ) -> Optional[ScanStep]:
     """Build a scan step if the atom is evaluable under ``bound``."""
     loc = atom.args[0]
@@ -611,6 +612,20 @@ def _make_scan(
         op, payload = arg_ops[time_arg]
         time_bound = op == CHECK_TERM or (op == CHECK_VAR and payload in bound)
     remote = loc.name != loc_var
+    # Hash-probe pattern: positions whose value the evaluator can compute
+    # *before* iterating rows. CHECK_TERM is always evaluable there (its
+    # variables are in `bound` by construction); CHECK_VAR only when the
+    # variable comes from `bound` — a CHECK_VAR emitted for a repeated
+    # variable of this same atom (`seen`) is resolved per-row, not per-scan.
+    # Position 0 selects the partition and never joins the pattern.
+    probe: Tuple[int, ...] = ()
+    if allow_probe:
+        probe = tuple(
+            pos
+            for pos, (op, payload) in enumerate(arg_ops)
+            if pos > 0
+            and (op == CHECK_TERM or (op == CHECK_VAR and payload in bound))
+        )
     return ScanStep(
         relation=atom.predicate,
         negated=negated,
@@ -618,6 +633,7 @@ def _make_scan(
         remote=remote,
         time_bound=time_bound,
         time_arg=time_arg,
+        probe=probe,
     )
 
 
@@ -627,8 +643,16 @@ def build_plan(
     prebound: Sequence[str],
     allow_scan_all: bool,
     loc_var: str,
+    stats: Optional[Dict[str, int]] = None,
 ) -> RulePlan:
     """Greedy join-order planning with binding propagation.
+
+    ``stats`` (relation -> stored row count, e.g.
+    :meth:`~repro.provenance.store.ProvenanceStore.counts`) refines the
+    scan order: among equally-bound candidates, prefer the relation with
+    the longest statically-probeable binding prefix, then the smallest
+    estimated cardinality. Without stats the ordering is unchanged, so
+    plans stay deterministic for callers that compile without a store.
 
     Raises :class:`PQLSemanticError` if the rule cannot be ordered safely
     (an unbound variable in a negated atom, comparison or function call).
@@ -636,10 +660,22 @@ def build_plan(
     bound: Set[str] = set(prebound)
     remaining: List[Literal] = list(rule.body)
     steps: List[PlanStep] = []
+    # Aggregate accumulation (sum/avg over floats) is sensitive to row
+    # enumeration order; probes enumerate index buckets, scans enumerate
+    # sets. Keeping aggregate rule bodies on the scan path makes results
+    # byte-identical with indexing on or off.
+    allow_probe = not rule.head.has_aggregates()
 
-    def scan_priority(step: ScanStep) -> Tuple[int, int]:
+    def scan_priority(step: ScanStep) -> Tuple[int, int, int, int]:
         checks = sum(1 for op, _ in step.arg_ops if op != BIND and op != ANY)
-        return (1 if step.time_bound else 0, checks)
+        if stats is None:
+            return (1 if step.time_bound else 0, checks, 0, 0)
+        return (
+            1 if step.time_bound else 0,
+            checks,
+            len(step.probe),
+            -stats.get(step.relation, 0),
+        )
 
     while remaining:
         placed: Optional[int] = None
@@ -662,6 +698,7 @@ def build_plan(
                     candidate = _make_scan(
                         lit.atom, True, bound, loc_var,
                         schema_of(lit.atom.predicate), allow_scan_all,
+                        allow_probe,
                     )
                     if candidate is not None:
                         step = candidate
@@ -693,7 +730,7 @@ def build_plan(
                     break
         # 4. positive atom scans, best-bound first
         if placed is None:
-            best_key: Optional[Tuple[int, int, int]] = None
+            best_key: Optional[Tuple[int, ...]] = None
             best_idx = -1
             best_scan: Optional[ScanStep] = None
             for i, lit in enumerate(remaining):
@@ -705,11 +742,11 @@ def build_plan(
                 candidate = _make_scan(
                     lit.atom, False, bound, loc_var,
                     schema_of(lit.atom.predicate), allow_scan_all,
+                    allow_probe,
                 )
                 if candidate is None:
                     continue
-                prio = scan_priority(candidate)
-                key = (prio[0], prio[1], -i)
+                key = scan_priority(candidate) + (-i,)
                 if best_key is None or key > best_key:
                     best_key, best_idx, best_scan = key, i, candidate
             if best_scan is not None:
@@ -724,7 +761,7 @@ def build_plan(
                 if isinstance(lit, AtomLiteral) and not lit.negated:
                     candidate = _make_scan(
                         lit.atom, False, bound, loc_var,
-                        schema_of(lit.atom.predicate), True,
+                        schema_of(lit.atom.predicate), True, allow_probe,
                     )
                     if candidate is not None:
                         step = candidate
@@ -829,6 +866,7 @@ def _semijoin_optimize(
                         time_arg=step.time_arg,
                         post_filters=absorbed,
                         exists=True,
+                        probe=step.probe,
                     )
                     del out[i + 1:j]
         i += 1
@@ -842,6 +880,7 @@ def compile_query(
     program: Program,
     registry: Optional[SchemaRegistry] = None,
     functions: Optional[FunctionRegistry] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> CompiledQuery:
     """Compile a parsed PQL program against a relation registry.
 
@@ -849,6 +888,8 @@ def compile_query(
     schemas plus, for offline queries, whatever a capture run stored.
     ``functions`` is only consulted for *names* here (to resolve boolean
     calls); actual callables are looked up at evaluation time.
+    ``stats`` (relation -> row count) feeds the planner's cardinality
+    heuristic; the offline drivers pass the captured store's counts.
     """
     registry = registry or SchemaRegistry()
     functions = functions or FunctionRegistry()
@@ -978,12 +1019,14 @@ def compile_query(
 
         if is_static:
             anchored = located = None
-            free = build_plan(rule, schema_of, (), True, loc_var)
+            free = build_plan(rule, schema_of, (), True, loc_var, stats)
         else:
             prebound_anchor = [loc_var] + ([time_var] if time_var else [])
-            anchored = build_plan(rule, schema_of, prebound_anchor, False, loc_var)
-            located = build_plan(rule, schema_of, [loc_var], False, loc_var)
-            free = build_plan(rule, schema_of, (), True, loc_var)
+            anchored = build_plan(
+                rule, schema_of, prebound_anchor, False, loc_var, stats
+            )
+            located = build_plan(rule, schema_of, [loc_var], False, loc_var, stats)
+            free = build_plan(rule, schema_of, (), True, loc_var, stats)
 
         body_vars = sorted(
             {v.name for v in rule.variables() if v.name != ANONYMOUS}

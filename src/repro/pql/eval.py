@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set,
 
 from repro.errors import PQLError, PQLSemanticError
 from repro.pql.ast import Aggregate, BinOp, Const, FuncCall, Param, Term, Var
+from repro.pql.index import MIN_INDEX_ROWS, RowIndex
 from repro.pql.plan import (
     ANY,
     BIND,
@@ -103,7 +104,7 @@ def _compare(op: str, left: Any, right: Any) -> bool:
 class _Partition:
     """One relation's tuples at one vertex: a set plus insertion order."""
 
-    __slots__ = ("rows", "order", "groups", "by_time")
+    __slots__ = ("rows", "order", "groups", "by_time", "index")
 
     def __init__(self) -> None:
         self.rows: Set[Row] = set()
@@ -112,6 +113,8 @@ class _Partition:
         self.groups: Optional[Dict[Row, Row]] = None
         # Optional superstep index (populated via add_timed).
         self.by_time: Optional[Dict[Any, List[Row]]] = None
+        # Lazily-built hash indexes over `order` (see repro.pql.index).
+        self.index: Optional[RowIndex] = None
 
     def add(self, row: Row) -> bool:
         if row in self.rows:
@@ -152,7 +155,28 @@ class _Partition:
                 removed += 1
         if removed:
             self.order = [row for row in self.order if row in self.rows]
+            # The index folds `order` incrementally and cannot unsee the
+            # dropped suffix; rebuild lazily from the compacted log.
+            self.index = None
         return removed
+
+    def probe(
+        self, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Tuple[Row, ...]]:
+        """Hash-probe candidates, or ``None`` when unindexable.
+
+        Aggregate partitions are unindexable: ``set_group`` discards
+        replaced rows from ``rows`` but leaves them in ``order``, so an
+        index over the log would resurrect them.
+        """
+        if self.groups is not None:
+            return None
+        index = self.index
+        if index is None:
+            if len(self.order) < MIN_INDEX_ROWS:
+                return None  # cheaper to scan than to build
+            index = self.index = RowIndex()
+        return index.probe(self.order, pattern, key)
 
     def set_group(self, key: Row, row: Row) -> bool:
         if self.groups is None:
@@ -210,6 +234,16 @@ class TupleStore:
             return part.by_time.get(time, ())
         return part.rows
 
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Iterable[Row]]:
+        """Hash-probe one partition; ``()`` when absent, ``None`` when the
+        partition cannot be indexed (aggregate groups)."""
+        part = self.partition(relation, vertex)
+        if part is None:
+            return ()
+        return part.probe(pattern, key)
+
     def all_rows(self, relation: str) -> Iterator[Row]:
         parts = self._data.get(relation)
         if not parts:
@@ -245,6 +279,13 @@ class Database:
 
     def __init__(self) -> None:
         self.derived = TupleStore()
+        # Hash-probe switch and counters (see repro.pql.index): the
+        # evaluator consults `probe` only when `index_enabled` is set and a
+        # scan step carries a binding pattern. The counters feed EXPLAIN
+        # and the query benchmarks.
+        self.index_enabled = True
+        self.index_probes = 0
+        self.index_scans = 0
 
     # -- reads (override) -------------------------------------------------
     def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
@@ -257,6 +298,15 @@ class Database:
     def all_rows(self, relation: str) -> Iterable[Row]:
         raise NotImplementedError
 
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Iterable[Row]]:
+        """Candidate rows of the partition whose projection on ``pattern``
+        equals ``key``, or ``None`` to make the evaluator fall back to a
+        scan. A probe may return a *superset* of the matching rows (the
+        evaluator re-matches every candidate), never a subset."""
+        return None
+
     # -- writes ------------------------------------------------------------
     def add(self, relation: str, row: Row) -> bool:
         return self.derived.add(relation, row[0], row)
@@ -268,9 +318,19 @@ class Database:
 # ---------------------------------------------------------------------------
 # join execution
 # ---------------------------------------------------------------------------
-def _scan_rows(step: ScanStep, env: Env, db: Database,
-               functions: FunctionRegistry) -> Iterable[Row]:
-    """Rows of the partition(s) a scan step addresses under ``env``."""
+def _candidate_rows(step: ScanStep, env: Env, db: Database,
+                    functions: FunctionRegistry,
+                    checks: Dict[int, Any]) -> Iterable[Row]:
+    """Candidate rows for a scan step under ``env``.
+
+    Located scans with a binding pattern hash-probe the database first
+    (``checks`` already holds the pre-evaluated CHECK_TERM values, and
+    every CHECK_VAR position in the pattern is bound in ``env`` by plan
+    construction); a ``None`` probe result — unindexable backend or
+    partition — falls back to the time-sliced or full partition scan.
+    Candidates are narrowing-only: `_match` still validates every row, so
+    both paths produce identical results.
+    """
     op, payload = step.arg_ops[0]
     if op == CHECK_VAR:
         loc = env[payload]
@@ -278,18 +338,30 @@ def _scan_rows(step: ScanStep, env: Env, db: Database,
         loc = eval_term(payload, env, functions)
     else:  # BIND / ANY: unlocated scan (setup / oracle mode only)
         return db.all_rows(step.relation)
+    pattern = step.probe
+    if pattern and db.index_enabled:
+        arg_ops = step.arg_ops
+        key = tuple(
+            checks[pos] if pos in checks else env[arg_ops[pos][1]]
+            for pos in pattern
+        )
+        candidates = db.probe(step.relation, loc, pattern, key)
+        if candidates is not None:
+            db.index_probes += 1
+            return candidates
+    db.index_scans += 1
     if step.time_bound and step.time_arg is not None:
         t_op, t_payload = step.arg_ops[step.time_arg]
         if t_op == CHECK_VAR:
             t = env[t_payload]
         else:
-            t = eval_term(t_payload, env, functions)
+            t = checks[step.time_arg]
         return db.rows_at(step.relation, loc, t)
     return db.rows(step.relation, loc)
 
 
 def _match(step: ScanStep, row: Row, env: Env,
-           checks: Sequence[Tuple[int, Any]]) -> Optional[Env]:
+           checks: Dict[int, Any]) -> Optional[Env]:
     """Match a row against a scan's arg ops; return the extended env."""
     arg_ops = step.arg_ops
     if len(row) != len(arg_ops):
@@ -316,7 +388,7 @@ def _match(step: ScanStep, row: Row, env: Env,
             if expected is _MISSING or expected != value:
                 return None
         # CHECK_TERM handled via precomputed `checks`
-    for pos, expected in checks:
+    for pos, expected in checks.items():
         if row[pos] != expected:
             return None
     if local:
@@ -330,12 +402,12 @@ _MISSING = object()
 
 
 def _term_checks(step: ScanStep, env: Env,
-                 functions: FunctionRegistry) -> List[Tuple[int, Any]]:
+                 functions: FunctionRegistry) -> Dict[int, Any]:
     """Pre-evaluate CHECK_TERM positions once per scan invocation."""
-    checks: List[Tuple[int, Any]] = []
+    checks: Dict[int, Any] = {}
     for pos, (op, payload) in enumerate(step.arg_ops):
         if op == CHECK_TERM:
-            checks.append((pos, eval_term(payload, env, functions)))
+            checks[pos] = eval_term(payload, env, functions)
     return checks
 
 
@@ -366,14 +438,14 @@ def _join(steps: Sequence[Any], index: int, env: Env, db: Database,
     if isinstance(step, ScanStep):
         checks = _term_checks(step, env, functions)
         if step.negated:
-            for row in _scan_rows(step, env, db, functions):
+            for row in _candidate_rows(step, env, db, functions, checks):
                 if _match(step, row, env, checks) is not None:
                     return  # an anti-join witness exists: fail this branch
             yield from _join(steps, index + 1, env, db, functions)
         elif step.exists:
             # semi-join: the scan's bindings are projected away, so the
             # first row passing the absorbed filters settles the branch
-            for row in _scan_rows(step, env, db, functions):
+            for row in _candidate_rows(step, env, db, functions, checks):
                 extended = _match(step, row, env, checks)
                 if extended is not None and _passes(
                     step.post_filters, extended, functions
@@ -381,7 +453,7 @@ def _join(steps: Sequence[Any], index: int, env: Env, db: Database,
                     yield from _join(steps, index + 1, env, db, functions)
                     return
         else:
-            for row in _scan_rows(step, env, db, functions):
+            for row in _candidate_rows(step, env, db, functions, checks):
                 extended = _match(step, row, env, checks)
                 if extended is not None:
                     yield from _join(steps, index + 1, extended, db, functions)

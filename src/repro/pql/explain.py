@@ -46,6 +46,9 @@ def _describe_step(step: Any, indent: str) -> List[str]:
             flags.append("remote")
         if step.time_bound:
             flags.append("superstep-indexed")
+        if step.probe:
+            positions = ",".join(str(p) for p in step.probe)
+            flags.append(f"hash-probe({positions})")
         suffix = f"  [{', '.join(flags)}]" if flags else ""
         lines = [f"{indent}scan {step.relation}({args}){suffix}"]
         for post in step.post_filters:
@@ -101,6 +104,7 @@ def explain(
     compiled: CompiledQuery,
     verbose: bool = False,
     timings: "Optional[Dict[int, float]]" = None,
+    index_stats: "Optional[Dict[str, int]]" = None,
 ) -> str:
     """Render a compiled query's full compilation report.
 
@@ -108,6 +112,11 @@ def explain(
     ``stratum_seconds`` collected by the offline runtimes when tracing is
     on); when given, the report closes with the measured cost of each
     stratum so plan structure and runtime cost read side by side.
+    ``index_stats`` carries the ``index_probes`` / ``index_scans`` counters
+    from a run's stats dict; when given, the report closes with the
+    observed hash-index hit rate (a ``hash-probe`` annotation on a scan
+    only says the plan *can* probe — unindexable partitions still fall
+    back to scans at runtime).
     """
     lines = [
         f"direction: {compiled.direction}",
@@ -162,4 +171,13 @@ def explain(
                 f"  stratum {stratum_no}: {seconds * 1000:.3f} ms"
                 f" ({share:.1%} of evaluation)"
             )
+    if index_stats is not None:
+        probes = index_stats.get("index_probes", 0)
+        scans = index_stats.get("index_scans", 0)
+        total_lookups = probes + scans
+        rate = probes / total_lookups if total_lookups else 0.0
+        lines.append(
+            f"observed index usage: {probes} hash probe(s),"
+            f" {scans} scan(s) ({rate:.1%} probed)"
+        )
     return "\n".join(lines)

@@ -55,6 +55,12 @@ class ScanStep:
     time_arg: Optional[int]  # index of the time attribute, if any
     post_filters: Tuple["PlanStep", ...] = ()
     exists: bool = False
+    # Argument positions (excluding 0, the partition selector) whose values
+    # are provably known before the scan runs: CHECK_TERM positions and
+    # CHECK_VAR positions whose variable was bound by an *earlier* step.
+    # Non-empty => the evaluator may hash-probe the partition on these
+    # positions instead of scanning it (see repro.pql.index).
+    probe: Tuple[int, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         neg = "!" if self.negated else ""

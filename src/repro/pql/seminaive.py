@@ -16,10 +16,18 @@ It serves two purposes:
 Supported: positive/negated atoms, comparisons (with `=` binding),
 boolean function calls, anonymous variables, non-recursive aggregates —
 the same fragment the main compiler accepts.
+
+Positive and negated atoms that read the full fact sets are hash-probed
+through a :class:`~repro.pql.index.FactsIndex` on whatever argument
+positions happen to be bound (constants plus already-bound variables).
+Probes only *narrow candidates* — :func:`_match_atom` still decides every
+row — so results are identical with indexing on or off; delta occurrences
+are never probed (deltas are small and rebuilt every iteration).
 """
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PQLSemanticError
@@ -30,13 +38,16 @@ from repro.pql.ast import (
     AtomLiteral,
     BoolCall,
     Comparison,
+    Const,
     FuncCall,
     Literal,
     Program,
     Rule,
     Var,
+    term_vars,
 )
 from repro.pql.eval import _compare, eval_term
+from repro.pql.index import FactsIndex
 from repro.pql.udf import FunctionRegistry
 
 Row = Tuple[Any, ...]
@@ -44,6 +55,11 @@ Facts = Dict[str, Set[Row]]
 Env = Dict[str, Any]
 
 ANONYMOUS = "_"
+
+_MISSING = object()
+
+#: Shared immutable empty relation for lookup misses.
+_EMPTY_ROWS: frozenset = frozenset()
 
 
 def _match_atom(atom: Atom, row: Row, env: Env,
@@ -71,37 +87,107 @@ def _match_atom(atom: Atom, row: Row, env: Env,
     return out
 
 
-_MISSING = object()
+class _PreparedLiteral:
+    """Per-literal metadata computed once per rule, not per candidate row.
+
+    The previous implementation rebuilt variable-name sets (and a
+    ``set(env)`` copy) inside :func:`_literal_ready` for every literal on
+    every partial solution; the sets only depend on the literal, so they
+    are hoisted here and readiness becomes subset tests against
+    ``env.keys()`` (a zero-copy set-like view).
+    """
+
+    __slots__ = ("lit", "names", "is_positive", "is_test", "eq_binds")
+
+    def __init__(self, lit: Literal) -> None:
+        self.lit = lit
+        self.names = frozenset(
+            v.name for v in lit.variables() if v.name != ANONYMOUS
+        )
+        self.is_positive = isinstance(lit, AtomLiteral) and not lit.negated
+        self.is_test = not self.is_positive
+        # For `=` comparisons: sides that may *bind* a variable, with the
+        # opposite term and its (precomputed) variable names.
+        eq: List[Tuple[str, Any, frozenset]] = []
+        if isinstance(lit, Comparison) and lit.op == "=":
+            for side, other in ((lit.left, lit.right), (lit.right, lit.left)):
+                if isinstance(side, Var) and side.name != ANONYMOUS:
+                    eq.append((
+                        side.name,
+                        other,
+                        frozenset(
+                            v.name for v in term_vars(other)
+                            if v.name != ANONYMOUS
+                        ),
+                    ))
+        self.eq_binds = tuple(eq)
 
 
-def _literal_ready(lit: Literal, env: Env) -> bool:
+def _prepare_body(rule: Rule) -> List[_PreparedLiteral]:
+    return [_PreparedLiteral(lit) for lit in rule.body]
+
+
+def _literal_ready(plit: _PreparedLiteral, env: Env) -> bool:
     """Can this literal be evaluated as a filter under ``env``?"""
-    if isinstance(lit, AtomLiteral) and not lit.negated:
+    if plit.is_positive:
         return True  # positive atoms always evaluable (they bind)
-    names = {v.name for v in lit.variables() if v.name != ANONYMOUS}
-    if isinstance(lit, Comparison) and lit.op == "=":
-        # may bind one side
-        for side, other in ((lit.left, lit.right), (lit.right, lit.left)):
-            if isinstance(side, Var) and side.name not in env:
-                other_names = {
-                    v.name for v in _term_var_names(other)
-                }
-                if other_names <= set(env):
-                    return True
-    return names <= set(env)
+    for name, _other, other_names in plit.eq_binds:
+        if name not in env and other_names <= env.keys():
+            return True  # may bind one side
+    return plit.names <= env.keys()
 
 
-def _term_var_names(term) -> Iterator[Var]:
-    from repro.pql.ast import term_vars
+class _EvalContext:
+    """Shared evaluation state: fact sets, functions, optional index."""
 
-    return term_vars(term)
+    __slots__ = ("facts", "functions", "index")
+
+    def __init__(self, facts: Facts, functions: FunctionRegistry,
+                 index: Optional[FactsIndex] = None) -> None:
+        self.facts = facts
+        self.functions = functions
+        self.index = index
+
+
+def _probe_key(atom: Atom, env: Env) -> Optional[Tuple[Tuple[int, ...], Row]]:
+    """Bound argument positions and their values for hash-probing, or
+    ``None`` when nothing is bound (a probe would not narrow). Computed
+    terms (arithmetic, calls) are left to :func:`_match_atom`."""
+    pattern: List[int] = []
+    key: List[Any] = []
+    for pos, term in enumerate(atom.args):
+        if isinstance(term, Var):
+            if term.name == ANONYMOUS:
+                continue
+            value = env.get(term.name, _MISSING)
+            if value is not _MISSING:
+                pattern.append(pos)
+                key.append(value)
+        elif isinstance(term, Const):
+            pattern.append(pos)
+            key.append(term.value)
+    if not pattern:
+        return None
+    return tuple(pattern), tuple(key)
+
+
+def _atom_rows(atom: Atom, env: Env, ctx: _EvalContext) -> Iterable[Row]:
+    """Candidate rows for a (positive or negated) atom reading the full
+    fact sets, hash-probed on bound positions when an index is active."""
+    rows = ctx.facts.get(atom.predicate, _EMPTY_ROWS)
+    if ctx.index is not None and rows:
+        probe = _probe_key(atom, env)
+        if probe is not None:
+            hit = ctx.index.probe(atom.predicate, rows, probe[0], probe[1])
+            if hit is not None:
+                return hit
+    return rows
 
 
 def _solutions(
-    body: Sequence[Literal],
+    body: Sequence[_PreparedLiteral],
     env: Env,
-    facts: Facts,
-    functions: FunctionRegistry,
+    ctx: _EvalContext,
     delta_at: Optional[int],
     delta: Optional[Facts],
 ) -> Iterator[Env]:
@@ -113,21 +199,21 @@ def _solutions(
     # choose the next evaluable literal: prefer ready filters, else the
     # first positive atom
     index = None
-    for i, lit in enumerate(body):
-        if isinstance(lit, (Comparison, BoolCall)) or (
-            isinstance(lit, AtomLiteral) and lit.negated
-        ):
-            if _literal_ready(lit, env):
+    for i, plit in enumerate(body):
+        if plit.is_test and _literal_ready(plit, env):
+            index = i
+            break
+    if index is None:
+        for i, plit in enumerate(body):
+            if plit.is_positive:
                 index = i
                 break
     if index is None:
-        for i, lit in enumerate(body):
-            if isinstance(lit, AtomLiteral) and not lit.negated:
-                index = i
-                break
-    if index is None:
-        raise PQLSemanticError(f"cannot order body literals: {body}")
-    lit = body[index]
+        raise PQLSemanticError(
+            f"cannot order body literals: {[p.lit for p in body]}"
+        )
+    plit = body[index]
+    lit = plit.lit
     rest = list(body[:index]) + list(body[index + 1:])
     # shift the delta marker to follow its literal
     rest_delta: Optional[int] = None
@@ -135,67 +221,70 @@ def _solutions(
         rest_delta = delta_at - 1 if delta_at > index else delta_at
 
     if isinstance(lit, AtomLiteral):
-        source = facts
-        if delta_at == index and delta is not None:
-            source = delta
-        rows = source.get(lit.atom.predicate, set())
         if lit.negated:
-            for row in facts.get(lit.atom.predicate, set()):
-                if _match_atom(lit.atom, row, env, functions) is not None:
+            for row in _atom_rows(lit.atom, env, ctx):
+                if _match_atom(lit.atom, row, env, ctx.functions) is not None:
                     return
-            yield from _solutions(rest, env, facts, functions,
-                                  rest_delta, delta)
+            yield from _solutions(rest, env, ctx, rest_delta, delta)
         else:
+            if delta_at == index and delta is not None:
+                rows: Iterable[Row] = delta.get(lit.atom.predicate,
+                                                _EMPTY_ROWS)
+            else:
+                rows = _atom_rows(lit.atom, env, ctx)
             for row in rows:
-                extended = _match_atom(lit.atom, row, env, functions)
+                extended = _match_atom(lit.atom, row, env, ctx.functions)
                 if extended is not None:
-                    yield from _solutions(rest, extended, facts, functions,
+                    yield from _solutions(rest, extended, ctx,
                                           rest_delta, delta)
     elif isinstance(lit, Comparison):
         if lit.op == "=":
-            for side, other in ((lit.left, lit.right), (lit.right, lit.left)):
-                if isinstance(side, Var) and side.name not in env and \
-                        side.name != ANONYMOUS:
-                    names = {v.name for v in _term_var_names(other)
-                             if v.name != ANONYMOUS}
-                    if names <= set(env):
-                        extended = dict(env)
-                        extended[side.name] = eval_term(other, env, functions)
-                        yield from _solutions(rest, extended, facts,
-                                              functions, rest_delta, delta)
-                        return
-        left = eval_term(lit.left, env, functions)
-        right = eval_term(lit.right, env, functions)
+            for name, other, other_names in plit.eq_binds:
+                if name not in env and other_names <= env.keys():
+                    extended = dict(env)
+                    extended[name] = eval_term(other, env, ctx.functions)
+                    yield from _solutions(rest, extended, ctx,
+                                          rest_delta, delta)
+                    return
+        left = eval_term(lit.left, env, ctx.functions)
+        right = eval_term(lit.right, env, ctx.functions)
         if _compare(lit.op, left, right):
-            yield from _solutions(rest, env, facts, functions,
-                                  rest_delta, delta)
+            yield from _solutions(rest, env, ctx, rest_delta, delta)
     else:  # BoolCall
-        fn = functions.get(lit.call.name)
-        args = [eval_term(a, env, functions) for a in lit.call.args]
+        fn = ctx.functions.get(lit.call.name)
+        args = [eval_term(a, env, ctx.functions) for a in lit.call.args]
         if bool(fn(*args)) != lit.negated:
-            yield from _solutions(rest, env, facts, functions,
-                                  rest_delta, delta)
+            yield from _solutions(rest, env, ctx, rest_delta, delta)
 
 
 def _derive(
     rule: Rule,
-    facts: Facts,
-    functions: FunctionRegistry,
+    body: Sequence[_PreparedLiteral],
+    ctx: _EvalContext,
     delta_at: Optional[int] = None,
     delta: Optional[Facts] = None,
 ) -> Set[Row]:
     out: Set[Row] = set()
     if rule.head.has_aggregates():
-        out |= _derive_aggregate(rule, facts, functions)
+        # Aggregate accumulation (sum/avg over floats) is sensitive to row
+        # enumeration order, and probes enumerate index buckets instead of
+        # sets; keep aggregate bodies on the scan path so results are
+        # byte-identical with indexing on or off.
+        scan_ctx = ctx
+        if ctx.index is not None:
+            scan_ctx = _EvalContext(ctx.facts, ctx.functions, None)
+        out |= _derive_aggregate(rule, body, scan_ctx)
         return out
-    for env in _solutions(list(rule.body), {}, facts, functions,
-                          delta_at, delta):
-        out.add(tuple(eval_term(a, env, functions) for a in rule.head.args))
+    for env in _solutions(body, {}, ctx, delta_at, delta):
+        out.add(
+            tuple(eval_term(a, env, ctx.functions) for a in rule.head.args)
+        )
     return out
 
 
-def _derive_aggregate(rule: Rule, facts: Facts,
-                      functions: FunctionRegistry) -> Set[Row]:
+def _derive_aggregate(rule: Rule, body: Sequence[_PreparedLiteral],
+                      ctx: _EvalContext) -> Set[Row]:
+    functions = ctx.functions
     body_vars = sorted({
         v.name for v in rule.variables() if v.name != ANONYMOUS
     })
@@ -203,7 +292,7 @@ def _derive_aggregate(rule: Rule, facts: Facts,
     groups: Dict[Row, List[List[Any]]] = {}
     agg_args = [a for a in rule.head.args if isinstance(a, Aggregate)]
     group_args = [a for a in rule.head.args if not isinstance(a, Aggregate)]
-    for env in _solutions(list(rule.body), {}, facts, functions, None, None):
+    for env in _solutions(body, {}, ctx, None, None):
         witness = tuple(env.get(v) for v in body_vars)
         if witness in seen:
             continue
@@ -273,19 +362,42 @@ def evaluate_seminaive(
     edb: Dict[str, Iterable[Row]],
     functions: Optional[FunctionRegistry] = None,
     naive: bool = False,
+    use_index: bool = True,
 ) -> Facts:
     """Evaluate a bound PQL program over plain fact sets.
 
     ``edb`` maps relation names to rows. Returns all facts (EDB + derived).
     With ``naive=True`` the delta optimization is disabled (every iteration
-    re-derives from scratch) — the ablation baseline.
+    re-derives from scratch) — the ablation baseline. With
+    ``use_index=False`` hash-probing is disabled and every atom falls back
+    to a full relation scan; results are identical either way.
+
+    EDB relations passed as set-like views (see
+    :func:`store_to_facts` with ``readonly=True``) are consumed in place —
+    never copied and never mutated. Head-predicate relations and plain
+    iterables are copied into fresh sets as before.
     """
     functions = functions or FunctionRegistry()
-    facts: Facts = {rel: set(rows) for rel, rows in edb.items()}
     head_preds = {rule.head.predicate for rule in program.rules}
+    facts: Facts = {}
+    for rel, rows in edb.items():
+        if (
+            rel not in head_preds
+            and isinstance(rows, AbstractSet)
+            and not isinstance(rows, set)
+        ):
+            # Read-only set view (frozenset / store view): evaluation only
+            # ever mutates head-predicate relations, so reuse it in place.
+            facts[rel] = rows  # type: ignore[assignment]
+        else:
+            facts[rel] = set(rows)
     program = _resolve_functions(program, set(facts) | head_preds, functions)
     strata_of = _stratify(program, head_preds)
     max_stratum = max(strata_of.values(), default=0)
+    ctx = _EvalContext(
+        facts, functions, FactsIndex() if use_index else None
+    )
+    index = ctx.index
 
     for level in range(max_stratum + 1):
         rules = [
@@ -296,36 +408,41 @@ def evaluate_seminaive(
         recursive_preds = {
             r.head.predicate for r in rules
         }
+        # per-literal metadata (bound-name sets, `=` binding sides) is
+        # computed once per stratum, not per candidate row
+        bodies = {id(r): _prepare_body(r) for r in rules}
         # initial round: full naive derivation of this stratum
         delta: Facts = {}
         for rule in rules:
-            new = _derive(rule, facts, functions)
+            new = _derive(rule, bodies[id(rule)], ctx)
             known = facts.setdefault(rule.head.predicate, set())
             fresh = new - known
             known |= fresh
+            if index is not None and fresh:
+                index.extend(rule.head.predicate, fresh)
             delta.setdefault(rule.head.predicate, set()).update(fresh)
         # iterate
         while any(delta.values()):
             next_delta: Facts = {}
             for rule in rules:
-                body = list(rule.body)
+                body = bodies[id(rule)]
                 if naive:
-                    candidate_rows = _derive(rule, facts, functions)
+                    candidate_rows = _derive(rule, body, ctx)
                 else:
                     candidate_rows = set()
-                    for i, lit in enumerate(body):
+                    for i, plit in enumerate(body):
                         if (
-                            isinstance(lit, AtomLiteral)
-                            and not lit.negated
-                            and lit.atom.predicate in recursive_preds
+                            plit.is_positive
+                            and plit.lit.atom.predicate in recursive_preds
                         ):
                             candidate_rows |= _derive(
-                                rule, facts, functions, delta_at=i,
-                                delta=delta,
+                                rule, body, ctx, delta_at=i, delta=delta,
                             )
                 known = facts.setdefault(rule.head.predicate, set())
                 fresh = candidate_rows - known
                 known |= fresh
+                if index is not None and fresh:
+                    index.extend(rule.head.predicate, fresh)
                 if fresh:
                     next_delta.setdefault(
                         rule.head.predicate, set()
@@ -334,10 +451,112 @@ def evaluate_seminaive(
     return facts
 
 
-def store_to_facts(store: Any, graph: Any = None) -> Dict[str, Set[Row]]:
+class _ReadOnlyRows(AbstractSet):
+    """Base for zero-copy relation views; set algebra (``&``, ``|``, …)
+    falls back to materialized plain sets."""
+
+    __slots__ = ()
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[Row]) -> Set[Row]:
+        return set(iterable)
+
+
+class _StoreRelationView(_ReadOnlyRows):
+    """All rows of one relation across a store's vertex partitions,
+    exposed as a set without flattening them into one."""
+
+    __slots__ = ("_store", "_relation")
+
+    def __init__(self, store: Any, relation: str) -> None:
+        self._store = store
+        self._relation = relation
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._store.rows(self._relation)
+
+    def __len__(self) -> int:
+        return sum(
+            len(self._store.partition(self._relation, vertex))
+            for vertex in self._store.vertices(self._relation)
+        )
+
+    def __contains__(self, row: Any) -> bool:
+        try:
+            schema = self._store.registry.get(self._relation)
+            vertex = schema.location_of(row)
+        except Exception:
+            return False
+        return row in self._store.partition(self._relation, vertex)
+
+
+class _GraphVerticesView(_ReadOnlyRows):
+    """The virtual ``vertex`` relation as 1-tuples over a live graph."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: Any) -> None:
+        self._graph = graph
+
+    def __iter__(self) -> Iterator[Row]:
+        return ((v,) for v in self._graph.vertices())
+
+    def __len__(self) -> int:
+        return self._graph.num_vertices
+
+    def __contains__(self, row: Any) -> bool:
+        return (
+            isinstance(row, tuple) and len(row) == 1
+            and row[0] in self._graph
+        )
+
+
+class _GraphEdgesView(_ReadOnlyRows):
+    """The virtual ``edge`` relation as 2-tuples over a live graph."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: Any) -> None:
+        self._graph = graph
+
+    def __iter__(self) -> Iterator[Row]:
+        return ((u, v) for u, v, _w in self._graph.edges())
+
+    def __len__(self) -> int:
+        return self._graph.num_edges
+
+    def __contains__(self, row: Any) -> bool:
+        return (
+            isinstance(row, tuple) and len(row) == 2
+            and row[0] in self._graph
+            and self._graph.has_edge(row[0], row[1])
+        )
+
+
+def store_to_facts(
+    store: Any, graph: Any = None, readonly: bool = False
+) -> Dict[str, Set[Row]]:
     """Flatten a provenance store (plus optional input graph) into the
-    plain fact sets this evaluator consumes."""
-    facts: Dict[str, Set[Row]] = {
+    plain fact sets this evaluator consumes.
+
+    The default copies every row — safe, but it duplicates the whole
+    capture in memory just to query it. With ``readonly=True`` nothing is
+    copied: each relation is a zero-copy set view over the live store and
+    graph. Views are safe as long as the caller treats them as read-only
+    and the store is not mutated while a query runs;
+    :func:`evaluate_seminaive` honors that contract (it never mutates
+    non-head relations).
+    """
+    if readonly:
+        facts: Dict[str, Set[Row]] = {
+            relation: _StoreRelationView(store, relation)
+            for relation in store.relations()
+        }
+        if graph is not None:
+            facts["vertex"] = _GraphVerticesView(graph)
+            facts["edge"] = _GraphEdgesView(graph)
+        return facts
+    facts = {
         relation: set(store.rows(relation)) for relation in store.relations()
     }
     if graph is not None:

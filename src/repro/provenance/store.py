@@ -17,30 +17,41 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ProvenanceError
+from repro.pql.index import MIN_INDEX_ROWS, RowIndex
 from repro.provenance.model import RelationSchema, SchemaRegistry
 from repro.sizemodel import estimate_bytes
 
 Row = Tuple[Any, ...]
 
+#: Shared immutable empty result for partition/slice misses. Misses are the
+#: common case on sparse relations; allocating a fresh ``set()`` per miss
+#: was measurable in the offline query hot path.
+_EMPTY_ROWS: frozenset = frozenset()
+
 
 class RelationPartition:
     """Tuples of one relation at one vertex, sliced by superstep."""
 
-    __slots__ = ("schema", "rows", "by_time")
+    __slots__ = ("schema", "rows", "log", "by_time", "index")
 
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
         self.rows: Set[Row] = set()
+        # Append-only insertion log; hash indexes fold it in incrementally.
+        self.log: List[Row] = []
         # superstep -> rows; only maintained for time-indexed relations.
         self.by_time: Optional[Dict[int, Set[Row]]] = (
             {} if schema.time_index is not None else None
         )
+        # Lazily-built hash indexes over `log` (see repro.pql.index).
+        self.index: Optional[RowIndex] = None
 
     def add(self, row: Row) -> bool:
         """Insert; return True if the row is new."""
         if row in self.rows:
             return False
         self.rows.add(row)
+        self.log.append(row)
         if self.by_time is not None:
             t = row[self.schema.time_index]
             bucket = self.by_time.get(t)
@@ -53,7 +64,20 @@ class RelationPartition:
     def at_time(self, superstep: int) -> Set[Row]:
         if self.by_time is None:
             return self.rows
-        return self.by_time.get(superstep, set())
+        return self.by_time.get(superstep, _EMPTY_ROWS)
+
+    def probe(
+        self, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Tuple[Row, ...]]:
+        """Hash-probe this partition's rows on ``pattern`` (store
+        partitions are append-only, so the index is always valid), or
+        ``None`` while the partition is too small to be worth indexing."""
+        index = self.index
+        if index is None:
+            if len(self.log) < MIN_INDEX_ROWS:
+                return None  # cheaper to scan than to build
+            index = self.index = RowIndex()
+        return index.probe(self.log, pattern, key)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -118,16 +142,29 @@ class ProvenanceStore:
     def partition(self, relation: str, vertex: Any) -> Set[Row]:
         partitions = self._data.get(relation)
         if not partitions:
-            return set()
+            return _EMPTY_ROWS
         part = partitions.get(vertex)
-        return part.rows if part is not None else set()
+        return part.rows if part is not None else _EMPTY_ROWS
 
     def partition_at(self, relation: str, vertex: Any, superstep: int) -> Set[Row]:
         partitions = self._data.get(relation)
         if not partitions:
-            return set()
+            return _EMPTY_ROWS
         part = partitions.get(vertex)
-        return part.at_time(superstep) if part is not None else set()
+        return part.at_time(superstep) if part is not None else _EMPTY_ROWS
+
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Tuple[Row, ...]]:
+        """Hash-probe one partition's rows on a binding pattern; ``None``
+        when the partition is below the indexing threshold."""
+        partitions = self._data.get(relation)
+        if not partitions:
+            return ()
+        part = partitions.get(vertex)
+        if part is None:
+            return ()
+        return part.probe(pattern, key)
 
     def rows(self, relation: str) -> Iterator[Row]:
         for part in self._data.get(relation, {}).values():

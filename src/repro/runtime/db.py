@@ -15,7 +15,7 @@ define what "the partition of relation R at vertex v" means per mode:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.graph.digraph import DiGraph
 from repro.pql.eval import Database, Row, TupleStore
@@ -97,6 +97,28 @@ class StoreDatabase(Database):
         yield from self.store.rows(relation)
         if relation in self.head_predicates:
             yield from self.derived.all_rows(relation)
+
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Iterable[Row]]:
+        """Hash-probe the stored partition (and the derived overlay for
+        head predicates). Virtual static relations fall back to scans —
+        they are answered from adjacency structure, not row logs. Probe
+        results may overlap between store and overlay; the evaluator
+        re-matches and deduplicates, so a plain concatenation is safe."""
+        if _StaticRelations.handles(relation):
+            return None
+        stored = self.store.probe(relation, vertex, pattern, key)
+        if stored is None:
+            return None  # partition below the indexing threshold
+        if relation in self.head_predicates:
+            derived = self.derived.probe(relation, vertex, pattern, key)
+            if derived is None:
+                return None  # unindexable overlay: scan both sides
+            if stored and derived:
+                return list(stored) + list(derived)
+            return derived or stored
+        return stored
 
 
 class OnlineDatabase(Database):
@@ -189,3 +211,31 @@ class OnlineDatabase(Database):
         yield from self.local.all_rows(relation)
         if relation in self.head_predicates:
             yield from self.derived.all_rows(relation)
+
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Iterable[Row]]:
+        """Hash-probe mirroring :meth:`rows`'s partition dispatch: the
+        transient stream, the local store plus derived overlay, or — for
+        any vertex other than the evaluating one — the piggybacked inbox
+        partition keyed by sender."""
+        if _StaticRelations.handles(relation):
+            return None
+        if vertex == self.current_site:
+            if relation in self.stream_relations:
+                return self.stream.probe(relation, vertex, pattern, key)
+            local = self.local.probe(relation, vertex, pattern, key)
+            if local is None:
+                return None
+            if relation in self.head_predicates:
+                derived = self.derived.probe(relation, vertex, pattern, key)
+                if derived is None:
+                    return None
+                if local and derived:
+                    return list(local) + list(derived)
+                return derived or local
+            return local
+        inbox = self.remote.get(self.current_site)
+        if inbox is None:
+            return ()
+        return inbox.probe(relation, vertex, pattern, key)

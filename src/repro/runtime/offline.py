@@ -50,13 +50,16 @@ def _compile_offline(
     store: ProvenanceStore,
     functions: FunctionRegistry,
     params: Optional[Dict[str, Any]],
+    stats: Optional[Dict[str, int]] = None,
 ) -> CompiledQuery:
     if isinstance(query, CompiledQuery):
         return query
     program = parse(query) if isinstance(query, str) else query
     if params:
         program = program.bind(**params)
-    return compile_query(program, registry=store.registry, functions=functions)
+    return compile_query(
+        program, registry=store.registry, functions=functions, stats=stats
+    )
 
 
 def _run_setup(compiled: CompiledQuery, db: StoreDatabase,
@@ -78,10 +81,18 @@ def run_layered(
     graph: Optional[DiGraph] = None,
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
+    use_index: bool = True,
 ) -> QueryResult:
-    """Layered offline evaluation of a directed query."""
+    """Layered offline evaluation of a directed query.
+
+    ``use_index=False`` disables hash-probe access paths (the ``--no-index``
+    escape hatch); results are byte-identical either way.
+    """
     functions = FunctionRegistry(udfs)
-    compiled = _compile_offline(query, store, functions, params)
+    compiled = _compile_offline(
+        query, store, functions, params,
+        stats=store.counts() if use_index else None,
+    )
     compiled.require_layered()
 
     tracer = get_tracer()
@@ -89,6 +100,7 @@ def run_layered(
     # stratum per layer) so EXPLAIN can show observed costs untraced.
     stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
+    db.index_enabled = use_index
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions, stratum_seconds)
 
@@ -127,6 +139,9 @@ def run_layered(
         "store_rows": store.num_rows,
         "head_predicates": sorted(compiled.head_predicates),
         "stratum_seconds": stratum_seconds,
+        "use_index": use_index,
+        "index_probes": db.index_probes,
+        "index_scans": db.index_scans,
     }
     return QueryResult(
         derived=db.derived,
@@ -145,6 +160,7 @@ def run_naive(
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
+    use_index: bool = True,
 ) -> QueryResult:
     """Straightforward offline evaluation over the fully materialized graph.
 
@@ -153,7 +169,10 @@ def run_naive(
     able to scale beyond the two smallest datasets").
     """
     functions = FunctionRegistry(udfs)
-    compiled = _compile_offline(query, store, functions, params)
+    compiled = _compile_offline(
+        query, store, functions, params,
+        stats=store.counts() if use_index else None,
+    )
     if compiled.uses_stream:
         raise PQLCompatibilityError(
             "queries over transient stream relations only run online"
@@ -170,6 +189,7 @@ def run_naive(
     # stratum per layer) so EXPLAIN can show observed costs untraced.
     stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
+    db.index_enabled = use_index
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions, stratum_seconds)
     # The straightforward engine materializes the *unfolded* provenance
@@ -196,6 +216,9 @@ def run_naive(
         "sites": len(sites),
         "head_predicates": sorted(compiled.head_predicates),
         "stratum_seconds": stratum_seconds,
+        "use_index": use_index,
+        "index_probes": db.index_probes,
+        "index_scans": db.index_scans,
     }
     return QueryResult(
         derived=db.derived,
@@ -214,6 +237,7 @@ def run_layered_from_spill(
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
+    use_index: bool = True,
 ) -> QueryResult:
     """Layered evaluation streaming sealed layer slabs from disk.
 
@@ -249,7 +273,10 @@ def run_layered_from_spill(
     compiled = (
         program
         if isinstance(program, CompiledQuery)
-        else compile_query(program, registry=registry, functions=functions)
+        else compile_query(
+            program, registry=registry, functions=functions,
+            stats=store.counts() if use_index else None,
+        )
     )
     compiled.require_layered()
 
@@ -258,6 +285,7 @@ def run_layered_from_spill(
     # stratum per layer) so EXPLAIN can show observed costs untraced.
     stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
+    db.index_enabled = use_index
     derivations = _run_setup(compiled, db, functions, stratum_seconds)
 
     num_layers = static["num_layers"]
@@ -303,6 +331,9 @@ def run_layered_from_spill(
         "from_spill": True,
         "head_predicates": sorted(compiled.head_predicates),
         "stratum_seconds": stratum_seconds,
+        "use_index": use_index,
+        "index_probes": db.index_probes,
+        "index_scans": db.index_scans,
     }
     return QueryResult(
         derived=db.derived,
@@ -321,6 +352,7 @@ def run_naive_from_spill(
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
+    use_index: bool = True,
 ) -> QueryResult:
     """Naive evaluation with its full-materialization load included."""
     from repro.provenance.spill import rebuild_store
@@ -336,7 +368,7 @@ def run_naive_from_spill(
     store = rebuild_store(spill)
     result = run_naive(
         store, query, graph, params, udfs,
-        memory_budget_bytes=None,
+        memory_budget_bytes=None, use_index=use_index,
     )
     result.wall_seconds = time.perf_counter() - start
     result.stats["from_spill"] = True
@@ -349,8 +381,14 @@ def run_reference(
     graph: Optional[DiGraph] = None,
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
+    use_index: bool = False,
 ) -> QueryResult:
-    """Centralized stratified-Datalog oracle (testing ground truth)."""
+    """Centralized stratified-Datalog oracle (testing ground truth).
+
+    Hash-probing is off by default so the oracle stays a pure scanning
+    evaluator — an index bug can then never blind the differential tests
+    that compare the other modes against it.
+    """
     functions = FunctionRegistry(udfs)
     compiled = _compile_offline(query, store, functions, params)
     if compiled.uses_stream:
@@ -358,6 +396,7 @@ def run_reference(
             "queries over transient stream relations only run online"
         )
     db = StoreDatabase(store, graph, compiled.head_predicates)
+    db.index_enabled = use_index
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions)
     with get_tracer().span("query-eval", PHASE_QUERY, mode="reference"):
@@ -370,5 +409,10 @@ def run_reference(
         wall_seconds=time.perf_counter() - start,
         supersteps=store.num_layers,
         derivations=derivations,
-        stats={"head_predicates": sorted(compiled.head_predicates)},
+        stats={
+            "head_predicates": sorted(compiled.head_predicates),
+            "use_index": use_index,
+            "index_probes": db.index_probes,
+            "index_scans": db.index_scans,
+        },
     )

@@ -161,6 +161,7 @@ class OnlineQueryProgram(VertexProgram):
         prune_history: bool = True,
         ship_full_tables: bool = False,
         timed_index: bool = True,
+        use_index: bool = True,
     ) -> None:
         compiled.require_online()
         aggregate_heads = {
@@ -184,6 +185,8 @@ class OnlineQueryProgram(VertexProgram):
             store=store,
             persist=set(compiled.head_predicates),
         )
+        # Hash-probe access paths (EngineConfig.query_index / --no-index).
+        self.db.index_enabled = use_index
         need = compiled.auto_capture
         self._need_superstep = "superstep" in need
         self._need_value = "value" in need
@@ -424,6 +427,8 @@ class OnlineQueryProgram(VertexProgram):
             "prune_hits": self.prune_hits,
             "prune_misses": self.prune_misses,
             "query_seconds": self.query_seconds,
+            "index_probes": self.db.index_probes,
+            "index_scans": self.db.index_scans,
         }
 
     def parallel_worker_end(self) -> None:
@@ -454,6 +459,8 @@ class OnlineQueryProgram(VertexProgram):
                 "prune_hits": self.prune_hits - base["prune_hits"],
                 "prune_misses": self.prune_misses - base["prune_misses"],
                 "query_seconds": self.query_seconds - base["query_seconds"],
+                "index_probes": self.db.index_probes - base["index_probes"],
+                "index_scans": self.db.index_scans - base["index_scans"],
             },
             "transient_rows": self.db.local.num_rows(),
         }
@@ -479,6 +486,8 @@ class OnlineQueryProgram(VertexProgram):
             self.prune_hits += counters["prune_hits"]
             self.prune_misses += counters["prune_misses"]
             self.query_seconds += counters["query_seconds"]
+            self.db.index_probes += counters.get("index_probes", 0)
+            self.db.index_scans += counters.get("index_scans", 0)
             self._merged_transient_rows += state["transient_rows"]
 
     def transient_row_count(self) -> int:
@@ -545,16 +554,17 @@ def run_online(
         for schema in compiled.idb_schemas.values():
             store.registry.register(schema)
 
-    wrapper = OnlineQueryProgram(
-        program, compiled, functions, graph, store=store,
-        value_projector=projector,
-    )
-    wrapper.run_setup()
-
     engine_config = replace(
         config or EngineConfig(),
         use_combiner=False,  # envelopes carry senders and tables
     )
+    wrapper = OnlineQueryProgram(
+        program, compiled, functions, graph, store=store,
+        value_projector=projector,
+        use_index=engine_config.query_index,
+    )
+    wrapper.run_setup()
+
     engine = make_engine(graph, config=engine_config)
     run = engine.run(wrapper, max_supersteps=max_supersteps)
     wrapper.finish_trace()
@@ -578,6 +588,9 @@ def run_online(
             "prune_misses": wrapper.prune_misses,
             "transient_rows": wrapper.transient_row_count(),
             "shipped_tuples": wrapper.shipped_tuples,
+            "use_index": engine_config.query_index,
+            "index_probes": wrapper.db.index_probes,
+            "index_scans": wrapper.db.index_scans,
         },
     )
     return OnlineRunResult(analytic=run, query=query_result, store=store)
