@@ -117,6 +117,8 @@ def _engine_config(args: argparse.Namespace) -> "EngineConfig":
         backend=getattr(args, "backend", "serial"),
         partitioner=getattr(args, "partitioner", "hash"),
         query_index=not getattr(args, "no_index", False),
+        spill_async=not getattr(args, "spill_sync", False),
+        spill_compression=getattr(args, "spill_compression", None) or "zlib",
     )
 
 
@@ -259,14 +261,20 @@ def cmd_capture(args: argparse.Namespace) -> int:
     query = _query_text(args) if (args.query or args.query_file) else (
         Q.CAPTURE_FULL_QUERY
     )
-    result = ariadne.capture(query, params=_params(args.param))
+    # Completed layers are sealed eagerly while the analytic runs
+    # (asynchronously unless --spill-sync); seal_all finishes the static
+    # slab and any layer the run never completed eagerly.
+    result = ariadne.capture(
+        query, params=_params(args.param), spill_directory=args.out
+    )
     store = result.store
-    spill = SpillManager(store, directory=args.out)
+    spill = result.spill
     bytes_sealed = spill.seal_all()
     print(f"captured {store.num_rows} facts over {store.num_layers} layers")
     for relation, count in sorted(store.counts().items()):
         print(f"  {relation}: {count}")
-    print(f"sealed {bytes_sealed} bytes to {spill.directory}")
+    print(f"sealed {bytes_sealed} bytes to {spill.directory} "
+          f"({spill.compression}, {'async' if spill.async_writes else 'sync'})")
     return 0
 
 
@@ -428,6 +436,14 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="disable hash-index probing during query "
                              "evaluation (results are identical; use for "
                              "A/B latency comparisons)")
+    parser.add_argument("--spill-sync", action="store_true",
+                        help="seal provenance layers synchronously instead "
+                             "of through the background spill writer "
+                             "(slab contents are identical)")
+    parser.add_argument("--spill-compression", choices=("raw", "zlib"),
+                        default="zlib",
+                        help="slab codec for sealed provenance layers "
+                             "(default: zlib)")
 
 
 def _add_query_args(parser: argparse.ArgumentParser) -> None:

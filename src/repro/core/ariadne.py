@@ -89,9 +89,17 @@ class Ariadne:
         params: Optional[Dict[str, Any]] = None,
         udfs: Optional[Dict[str, Callable[..., Any]]] = None,
         max_supersteps: Optional[int] = None,
+        spill_directory: Optional[str] = None,
     ) -> OnlineRunResult:
         """Run the analytic with a capture query; the result carries the
-        persisted provenance store (``result.store``)."""
+        persisted provenance store (``result.store``).
+
+        With ``spill_directory``, completed layers are sealed to disk
+        *during* the run (asynchronously by default — see
+        ``EngineConfig.spill_async`` / ``spill_compression``) and the
+        manager is returned on ``result.spill``; finish with
+        ``result.spill.seal_all()``.
+        """
         return run_online(
             self.graph,
             self.analytic,
@@ -101,6 +109,7 @@ class Ariadne:
             capture=True,
             config=self.config,
             max_supersteps=max_supersteps,
+            spill_directory=spill_directory,
         )
 
     def query_offline(

@@ -43,6 +43,16 @@ class EngineConfig:
             bound argument positions instead of scanning them (see
             :mod:`repro.pql.index`). Results are byte-identical either
             way; turn off (CLI ``--no-index``) only for A/B latency runs.
+        spill_async: seal provenance layers through the spill manager's
+            background writer thread (the paper's asynchronous HDFS
+            offload) instead of blocking the capture path per slab. Slab
+            contents are byte-identical either way; turn off (CLI
+            ``--spill-sync``) to serialize sealing for debugging or A/B
+            timing.
+        spill_compression: slab codec for sealed layers — ``"zlib"``
+            (default) or ``"raw"`` (uncompressed frames). Rebuilt stores
+            are identical under both; the CLI switch is
+            ``--spill-compression``.
     """
 
     num_workers: int = 4
@@ -54,6 +64,8 @@ class EngineConfig:
     backend: str = "serial"
     partitioner: str = "hash"
     query_index: bool = True
+    spill_async: bool = True
+    spill_compression: str = "zlib"
 
     def validate(self) -> None:
         if self.num_workers < 1:
@@ -67,4 +79,9 @@ class EngineConfig:
         if self.partitioner not in ("hash", "range"):
             raise EngineError(
                 f"unknown partitioner {self.partitioner!r} (hash | range)"
+            )
+        if self.spill_compression not in ("raw", "zlib"):
+            raise EngineError(
+                f"unknown spill compression {self.spill_compression!r} "
+                "(raw | zlib)"
             )

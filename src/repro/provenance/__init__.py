@@ -16,11 +16,18 @@ from repro.provenance.model import (
     SchemaRegistry,
     freeze,
 )
-from repro.provenance.spill import SpillManager, rebuild_store
+from repro.provenance.spill import (
+    DEFAULT_COMPRESSION,
+    SPILL_COMPRESSIONS,
+    SpillManager,
+    rebuild_store,
+)
 from repro.provenance.store import ProvenanceStore, RelationPartition
 
 __all__ = [
     "inspect",
+    "DEFAULT_COMPRESSION",
+    "SPILL_COMPRESSIONS",
     "ProvNode",
     "rebuild_store",
     "UnfoldedProvenanceGraph",

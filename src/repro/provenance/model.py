@@ -137,6 +137,12 @@ class SchemaRegistry:
             )
         self._schemas[schema.name] = schema
 
+    def register_all(self, schemas: Iterable[RelationSchema]) -> None:
+        """Register a batch of schemas (same conflict rules as
+        :meth:`register`)."""
+        for schema in schemas:
+            self.register(schema)
+
     def names(self) -> Iterable[str]:
         return self._schemas.keys()
 

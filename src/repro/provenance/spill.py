@@ -1,47 +1,217 @@
 """Layer spilling — the stand-in for Ariadne's asynchronous HDFS offload.
 
 When the captured provenance graph exceeds available memory the paper's
-prototype offloads it to HDFS, and layered offline evaluation later streams
-it back one layer at a time. :class:`SpillManager` reproduces the mechanism
-on the local filesystem: sealed layers are pickled into per-superstep slab
-files (plus a static slab for time-less relations and schemas), and the
-offline runtimes stream them back — one layer at a time for layered
-evaluation, all at once for naive (see
-``repro.runtime.offline.run_layered_from_spill`` / ``run_naive_from_spill``,
-whose memory budgets reproduce the paper's observation that naive
-whole-graph loading fails where layered evaluation proceeds).
+prototype offloads it to HDFS *asynchronously, while the analytic is still
+running*, and layered offline evaluation later streams it back one layer at
+a time. :class:`SpillManager` reproduces the mechanism on the local
+filesystem: sealed layers become per-superstep slab files (plus a static
+slab for time-less relations and schemas), and the offline runtimes stream
+them back — one layer at a time for layered evaluation, all at once for
+naive (see ``repro.runtime.offline.run_layered_from_spill`` /
+``run_naive_from_spill``, whose memory budgets reproduce the paper's
+observation that naive whole-graph loading fails where layered evaluation
+proceeds).
+
+Two mechanisms keep sealing off the capture hot path:
+
+* **Asynchronous writes** (``async_writes=True``, the default): sealing
+  enqueues a snapshot of the layer on a bounded queue; a background writer
+  thread pickles, compresses and writes it while the analytic's next
+  superstep runs. ``flush()`` (called implicitly by every read-side method)
+  drains the queue. A writer failure is held and re-raised as a
+  :class:`ProvenanceError` at the next seal, flush or close — never
+  silently dropped.
+* **Framed compressed slabs**: each slab is a sequence of length-prefixed
+  per-relation chunks (magic ``ARSL``), individually zlib-compressed by
+  default (``compression="zlib"``; ``"raw"`` skips the codec). Readers
+  auto-detect the frame, and slabs written by older versions (one bare
+  pickle per file) still load.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import queue
+import struct
 import tempfile
-from typing import Any, Dict, Iterator, Optional, Set
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ProvenanceError
 from repro.obs.log import get_logger
-from repro.obs.metrics import BYTES_BUCKETS, get_registry
+from repro.obs.metrics import BYTES_BUCKETS, SECONDS_BUCKETS, get_registry
 from repro.obs.trace import PHASE_SPILL, get_tracer
 from repro.provenance.store import ProvenanceStore, Row
 
 logger = get_logger("provenance.spill")
 
+#: Slab frame magic + format version (bare-pickle slabs predate the frame).
+_MAGIC = b"ARSL"
+_FORMAT_VERSION = 1
 
-def _count_spill(direction: str, size: int) -> None:
-    """Fold one slab write/read into the process metrics registry."""
+#: Supported slab codecs. Codes are written into the frame header.
+SPILL_COMPRESSIONS: Tuple[str, ...] = ("raw", "zlib")
+_COMPRESSION_CODES = {"raw": 0, "zlib": 1}
+_CODE_COMPRESSIONS = {code: name for name, code in _COMPRESSION_CODES.items()}
+
+DEFAULT_ASYNC = True
+DEFAULT_COMPRESSION = "zlib"
+
+#: Bounded writer queue: backpressure instead of unbounded snapshot memory.
+_WRITE_QUEUE_DEPTH = 8
+
+#: The static slab's meta chunk key; ``\x00`` cannot start a relation name.
+_META_KEY = "\x00meta"
+
+_RATIO_BUCKETS: Tuple[float, ...] = (
+    1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+)
+
+_U32 = struct.Struct("<I")
+
+#: zlib level for slab payloads. Pickled provenance rows are mostly
+#: binary ints/floats, where higher levels cost ~4x the CPU for <1% size
+#: — and the writer competes with capture for cores, so speed wins.
+_ZLIB_LEVEL = 1
+
+
+class _SpillMetrics:
+    """Resolved metric handles for one registry.
+
+    Label resolution (``registry.counter(...).labels(...)``) costs a dict
+    walk per call; slab operations happen per superstep, so the handles are
+    resolved once and cached per registry (tests swap registries via
+    ``set_registry``, hence the identity check in :func:`_spill_metrics`).
+    """
+
+    __slots__ = (
+        "write_ops", "read_ops", "write_bytes", "read_bytes",
+        "write_slab", "read_slab", "raw_bytes", "seal_seconds",
+        "compression_ratio", "queue_depth",
+    )
+
+    def __init__(self, registry: Any) -> None:
+        ops = registry.counter(
+            "repro_spill_ops_total", "slab seal/load operations",
+            labels=("direction",),
+        )
+        moved = registry.counter(
+            "repro_spill_bytes_total", "slab bytes moved", labels=("direction",),
+        )
+        slab = registry.histogram(
+            "repro_spill_slab_bytes", "slab size", labels=("direction",),
+            boundaries=BYTES_BUCKETS,
+        )
+        self.write_ops = ops.labels("write")
+        self.read_ops = ops.labels("read")
+        self.write_bytes = moved.labels("write")
+        self.read_bytes = moved.labels("read")
+        self.write_slab = slab.labels("write")
+        self.read_slab = slab.labels("read")
+        self.raw_bytes = registry.counter(
+            "repro_spill_raw_bytes_total",
+            "pre-compression bytes of sealed slabs",
+        )
+        self.seal_seconds = registry.histogram(
+            "repro_spill_seal_seconds",
+            "encode+write latency per sealed slab",
+            boundaries=SECONDS_BUCKETS,
+        )
+        self.compression_ratio = registry.histogram(
+            "repro_spill_compression_ratio",
+            "raw/compressed ratio per sealed slab",
+            boundaries=_RATIO_BUCKETS,
+        )
+        self.queue_depth = registry.gauge(
+            "repro_spill_queue_depth", "pending async slab writes",
+        )
+
+    def count_write(self, size: int) -> None:
+        self.write_ops.inc()
+        self.write_bytes.inc(size)
+        self.write_slab.observe(size)
+
+    def count_read(self, size: int) -> None:
+        self.read_ops.inc()
+        self.read_bytes.inc(size)
+        self.read_slab.observe(size)
+
+
+_metrics_cache: Tuple[Optional[Any], Optional[_SpillMetrics]] = (None, None)
+
+
+def _spill_metrics() -> _SpillMetrics:
+    """The cached handle set for the process registry (satellite fix for
+    the old ``_count_spill``, which re-resolved labels on every slab op)."""
+    global _metrics_cache
     registry = get_registry()
-    registry.counter(
-        "repro_spill_ops_total", "slab seal/load operations",
-        labels=("direction",),
-    ).labels(direction).inc()
-    registry.counter(
-        "repro_spill_bytes_total", "slab bytes moved", labels=("direction",),
-    ).labels(direction).inc(size)
-    registry.histogram(
-        "repro_spill_slab_bytes", "slab size", labels=("direction",),
-        boundaries=BYTES_BUCKETS,
-    ).labels(direction).observe(size)
+    cached_registry, metrics = _metrics_cache
+    if metrics is None or cached_registry is not registry:
+        metrics = _SpillMetrics(registry)
+        _metrics_cache = (registry, metrics)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# slab frame codec
+# ---------------------------------------------------------------------------
+def _encode_slab(chunks: Dict[str, Any], compression: str) -> Tuple[bytes, int]:
+    """Frame ``chunks`` as length-prefixed (key, payload) pairs.
+
+    Returns ``(blob, raw_bytes)`` where ``raw_bytes`` is the pre-compression
+    payload total (the compression-ratio numerator).
+    """
+    code = _COMPRESSION_CODES[compression]
+    parts: List[bytes] = [
+        _MAGIC, bytes((_FORMAT_VERSION, code)), _U32.pack(len(chunks)),
+    ]
+    raw_total = 0
+    for key, value in chunks.items():
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        raw_total += len(payload)
+        if code:
+            payload = zlib.compress(payload, _ZLIB_LEVEL)
+        key_bytes = key.encode("utf-8")
+        parts.append(_U32.pack(len(key_bytes)))
+        parts.append(key_bytes)
+        parts.append(_U32.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts), raw_total
+
+
+def _decode_slab(data: bytes) -> Optional[Dict[str, Any]]:
+    """Decode a framed slab; ``None`` when ``data`` is a legacy bare pickle."""
+    if len(data) < 10 or data[:4] != _MAGIC:
+        return None
+    version, code = data[4], data[5]
+    if version != _FORMAT_VERSION:
+        raise ProvenanceError(f"unsupported slab format version {version}")
+    try:
+        decompress = zlib.decompress if _CODE_COMPRESSIONS[code] == "zlib" \
+            else None
+    except KeyError:
+        raise ProvenanceError(f"unsupported slab compression code {code}") \
+            from None
+    (nchunks,) = _U32.unpack_from(data, 6)
+    chunks: Dict[str, Any] = {}
+    offset = 10
+    for _ in range(nchunks):
+        (key_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        key = data[offset:offset + key_len].decode("utf-8")
+        offset += key_len
+        (payload_len,) = _U32.unpack_from(data, offset)
+        offset += 4
+        payload = data[offset:offset + payload_len]
+        offset += payload_len
+        if decompress is not None:
+            payload = decompress(payload)
+        chunks[key] = pickle.loads(payload)
+    return chunks
 
 
 class SpillManager:
@@ -52,14 +222,38 @@ class SpillManager:
         store: ProvenanceStore,
         directory: Optional[str] = None,
         memory_budget_bytes: Optional[int] = None,
+        *,
+        async_writes: bool = DEFAULT_ASYNC,
+        compression: str = DEFAULT_COMPRESSION,
     ) -> None:
+        if compression not in _COMPRESSION_CODES:
+            raise ProvenanceError(
+                f"unknown spill compression {compression!r} "
+                f"({' | '.join(SPILL_COMPRESSIONS)})"
+            )
         self.store = store
         self._own_dir = directory is None
         self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
         os.makedirs(self.directory, exist_ok=True)
         self.memory_budget_bytes = memory_budget_bytes
+        self.async_writes = async_writes
+        self.compression = compression
         self._slabs: Dict[int, str] = {}
+        self._static_path: Optional[str] = None
         self.bytes_spilled = 0
+        # Writer thread state. The thread starts lazily on the first
+        # asynchronous seal (so read-only managers and forked children
+        # never own one) and is a daemon: an unflushed manager must not
+        # wedge interpreter shutdown. Completed jobs are handed back via
+        # ``_completed`` and folded into metrics/tracing/accounting on the
+        # caller's thread; the first writer exception is held in
+        # ``_writer_error`` and re-raised at the next seal/flush/close.
+        self._queue: Optional["queue.Queue[Optional[Tuple[Any, str, Dict[str, Any]]]]"] = None
+        self._writer: Optional[threading.Thread] = None
+        # appended by the writer, drained by the caller; deque ops are
+        # atomic under the GIL so no lock is needed.
+        self._completed: Deque[Tuple[Any, str, int, int, float]] = deque()
+        self._writer_error: Optional[BaseException] = None
 
     @classmethod
     def open(cls, directory: str) -> "SpillManager":
@@ -82,6 +276,132 @@ class SpillManager:
     def slab_path(self, superstep: int) -> str:
         return os.path.join(self.directory, f"layer-{superstep:06d}.slab")
 
+    # ------------------------------------------------------------------
+    # writer pipeline
+    # ------------------------------------------------------------------
+    def _ensure_writer(self) -> "queue.Queue[Any]":
+        q = self._queue
+        if q is None:
+            q = self._queue = queue.Queue(maxsize=_WRITE_QUEUE_DEPTH)
+            self._writer = threading.Thread(
+                target=self._writer_loop, name="repro-spill-writer", daemon=True,
+            )
+            self._writer.start()
+        return q
+
+    def _writer_loop(self) -> None:
+        q = self._queue
+        while True:
+            job = q.get()
+            if job is None:
+                q.task_done()
+                return
+            try:
+                # After a failure, drain remaining jobs without writing:
+                # the caller sees the first error; later slabs would
+                # otherwise mask a torn sequence as a partial success.
+                if self._writer_error is None:
+                    self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 - held for the caller
+                self._writer_error = exc
+            finally:
+                q.task_done()
+
+    def _execute(self, job: Tuple[Any, str, Dict[str, Any]]) -> None:
+        """Encode and write one slab; runs on the writer thread when
+        asynchronous, inline otherwise."""
+        key, path, chunks = job
+        start = time.perf_counter()
+        blob, raw = _encode_slab(chunks, self.compression)
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        self._completed.append(
+            (key, path, len(blob), raw, time.perf_counter() - start)
+        )
+
+    def _submit(self, key: Any, path: str, chunks: Dict[str, Any]) -> None:
+        self._raise_pending()
+        job = (key, path, chunks)
+        if self.async_writes:
+            q = self._ensure_writer()
+            q.put(job)
+            _spill_metrics().queue_depth.set(q.qsize())
+        else:
+            self._execute(job)
+        self._drain_completed()
+
+    def _drain_completed(self) -> None:
+        """Fold finished writes into accounting/metrics/tracing. Runs on
+        the caller's thread so the tracer and registry are never touched
+        concurrently."""
+        pending = self._completed
+        if not pending:
+            return
+        completed = []
+        while pending:
+            completed.append(pending.popleft())
+        metrics = _spill_metrics()
+        tracer = get_tracer()
+        for key, path, size, raw, seconds in completed:
+            self.bytes_spilled += size
+            metrics.count_write(size)
+            metrics.raw_bytes.inc(raw)
+            metrics.seal_seconds.observe(seconds)
+            if size:
+                metrics.compression_ratio.observe(raw / size)
+            if tracer.enabled:
+                tracer.record(
+                    "spill-seal", PHASE_SPILL, seconds,
+                    layer=key, bytes=size, raw_bytes=raw,
+                )
+        logger.debug("spilled %d slab(s)", len(completed))
+
+    def _raise_pending(self) -> None:
+        error = self._writer_error
+        if error is not None:
+            self._writer_error = None
+            raise ProvenanceError(
+                f"asynchronous spill writer failed: {error}"
+            ) from error
+
+    def flush(self) -> None:
+        """Block until every enqueued slab is on disk; re-raise the first
+        writer failure (as :class:`ProvenanceError`), if any."""
+        q = self._queue
+        if q is not None:
+            q.join()
+            _spill_metrics().queue_depth.set(0)
+        self._drain_completed()
+        self._raise_pending()
+
+    def _shutdown_writer(self) -> None:
+        if self._writer is None:
+            return
+        self._queue.put(None)
+        self._writer.join()
+        self._queue = None
+        self._writer = None
+
+    # ------------------------------------------------------------------
+    # sealing
+    # ------------------------------------------------------------------
+    def _layer_chunks(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
+        """Snapshot one layer as per-relation chunks. Bucket sets are
+        copied on the caller's thread — the store may keep mutating while
+        the writer serializes."""
+        return {
+            relation: {vertex: set(rows) for vertex, rows in by_vertex.items()}
+            for relation, by_vertex in self.store.layer(superstep).items()
+        }
+
+    def seal_layer_nowait(self, superstep: int) -> None:
+        """Hand one completed layer to the writer without waiting for the
+        disk — the capture fast lane. Re-sealing a superstep overwrites its
+        slab, so late rows just cost one extra write."""
+        path = self.slab_path(superstep)
+        self._slabs[superstep] = path
+        self._submit(superstep, path, self._layer_chunks(superstep))
+
     def seal_layer(self, superstep: int) -> int:
         """Write one layer to disk; returns the slab's byte size.
 
@@ -89,25 +409,15 @@ class SpillManager:
         store's indexes); what the budget models is the *capture path*: how
         many bytes had to be moved to storage.
         """
-        layer = self.store.layer(superstep)
-        path = self.slab_path(superstep)
-        with get_tracer().span(
-            "spill-seal", PHASE_SPILL, layer=superstep
-        ) as span:
-            with open(path, "wb") as fh:
-                pickle.dump(layer, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            size = os.path.getsize(path)
-            span.set(bytes=size)
-        _count_spill("write", size)
-        self._slabs[superstep] = path
-        self.bytes_spilled += size
-        return size
+        self.seal_layer_nowait(superstep)
+        self.flush()
+        return os.path.getsize(self._slabs[superstep])
 
-    def seal_static(self) -> int:
-        """Write the time-less relations (e.g. Query 11's prov_edges) plus
-        the relation schemas to a static slab."""
-        static: Dict[str, Dict[Any, Set[Row]]] = {}
+    def _static_chunks(self) -> Dict[str, Any]:
+        """The time-less relations (e.g. Query 11's prov_edges) plus the
+        relation schemas and layer count, as slab chunks."""
         registry = self.store.registry
+        chunks: Dict[str, Any] = {}
         for relation in self.store.relations():
             schema = registry.get(relation)
             if schema.time_index is not None:
@@ -118,63 +428,97 @@ class SpillManager:
                 if rows:
                     by_vertex[vertex] = set(rows)
             if by_vertex:
-                static[relation] = by_vertex
-        schemas = {name: registry.get(name) for name in self.store.relations()}
+                chunks[relation] = by_vertex
+        chunks[_META_KEY] = {
+            "schemas": {
+                name: registry.get(name) for name in self.store.relations()
+            },
+            "num_layers": self.store.num_layers,
+        }
+        return chunks
+
+    def seal_static_nowait(self) -> None:
         path = os.path.join(self.directory, "static.slab")
-        with get_tracer().span("spill-seal", PHASE_SPILL, layer="static") as span:
-            with open(path, "wb") as fh:
-                pickle.dump(
-                    {"relations": static, "schemas": schemas, "num_layers": self.store.num_layers},
-                    fh,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            size = os.path.getsize(path)
-            span.set(bytes=size)
-        _count_spill("write", size)
         self._static_path = path
-        self.bytes_spilled += size
-        return size
+        self._submit("static", path, self._static_chunks())
+
+    def seal_static(self) -> int:
+        """Write the static slab; returns its byte size."""
+        self.seal_static_nowait()
+        self.flush()
+        return os.path.getsize(self._static_path)
 
     def seal_all(self) -> int:
-        """Seal the static slab and every layer; returns total bytes."""
-        total = self.seal_static()
+        """Seal the static slab and every not-yet-sealed layer, wait for
+        the writer, and return the total on-disk bytes of the sealed store.
+
+        Layers already sealed (eagerly, during the run) are assumed
+        current — the online wrapper re-seals any layer that gains rows
+        after its first seal; call :meth:`seal_layer` to force a refresh.
+        """
+        self.seal_static_nowait()
         for superstep in range(self.store.num_layers):
-            total += self.seal_layer(superstep)
+            if superstep not in self._slabs:
+                self.seal_layer_nowait(superstep)
+        self.flush()
+        total = self.total_sealed_bytes()
         logger.debug(
             "sealed %d layer(s) + static, %d bytes -> %s",
             self.store.num_layers, total, self.directory,
         )
         return total
 
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _read_slab(self, path: str) -> Tuple[Optional[Dict[str, Any]], Any, int]:
+        """Returns ``(chunks, legacy_payload, size)``; exactly one of
+        ``chunks`` / ``legacy_payload`` is set (bare-pickle slabs written
+        before the frame format decode to the latter)."""
+        with open(path, "rb") as fh:
+            data = fh.read()
+        chunks = _decode_slab(data)
+        if chunks is not None:
+            return chunks, None, len(data)
+        return None, pickle.loads(data), len(data)
+
     def load_static(self) -> Dict[str, Any]:
-        path = getattr(self, "_static_path", None)
+        self.flush()
+        path = self._static_path
         if path is None:
             raise ProvenanceError("static slab was never sealed")
         with get_tracer().span("spill-load", PHASE_SPILL, layer="static") as span:
-            with open(path, "rb") as fh:
-                data = pickle.load(fh)
-            span.set(bytes=os.path.getsize(path))
-        _count_spill("read", os.path.getsize(path))
-        return data
+            chunks, legacy, size = self._read_slab(path)
+            span.set(bytes=size)
+        _spill_metrics().count_read(size)
+        if chunks is None:
+            return legacy
+        meta = chunks.pop(_META_KEY)
+        return {
+            "relations": chunks,
+            "schemas": meta["schemas"],
+            "num_layers": meta["num_layers"],
+        }
 
     def sealed_layers(self) -> Iterator[int]:
         return iter(sorted(self._slabs))
 
     def load_layer(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
+        self.flush()
         path = self._slabs.get(superstep)
         if path is None:
             raise ProvenanceError(f"layer {superstep} was never sealed")
         with get_tracer().span(
             "spill-load", PHASE_SPILL, layer=superstep
         ) as span:
-            with open(path, "rb") as fh:
-                layer = pickle.load(fh)
-            span.set(bytes=os.path.getsize(path))
-        _count_spill("read", os.path.getsize(path))
-        return layer
+            chunks, legacy, size = self._read_slab(path)
+            span.set(bytes=size)
+        _spill_metrics().count_read(size)
+        return chunks if chunks is not None else legacy
 
     def layer_size(self, superstep: int) -> int:
         """On-disk bytes of one sealed layer slab."""
+        self.flush()
         path = self._slabs.get(superstep)
         if path is None:
             raise ProvenanceError(f"layer {superstep} was never sealed")
@@ -182,10 +526,10 @@ class SpillManager:
 
     def total_sealed_bytes(self) -> int:
         """On-disk bytes of every sealed slab (static + layers)."""
+        self.flush()
         total = 0
-        static = getattr(self, "_static_path", None)
-        if static is not None:
-            total += os.path.getsize(static)
+        if self._static_path is not None:
+            total += os.path.getsize(self._static_path)
         for path in self._slabs.values():
             total += os.path.getsize(path)
         return total
@@ -197,21 +541,35 @@ class SpillManager:
         )
 
     def close(self) -> None:
+        """Shut the writer down and remove the slab files.
+
+        Tolerates a partially-sealed directory — enqueued-but-unwritten
+        slabs, already-deleted files and foreign files in the directory are
+        all fine; a pending writer failure is raised (as
+        :class:`ProvenanceError`) after cleanup completes."""
+        self._shutdown_writer()
+        self._drain_completed()
+        error = self._writer_error
+        self._writer_error = None
         paths = list(self._slabs.values())
-        static = getattr(self, "_static_path", None)
-        if static is not None:
-            paths.append(static)
+        if self._static_path is not None:
+            paths.append(self._static_path)
         for path in paths:
             try:
                 os.unlink(path)
             except OSError:  # pragma: no cover - best effort cleanup
                 pass
         self._slabs.clear()
+        self._static_path = None
         if self._own_dir:
             try:
                 os.rmdir(self.directory)
             except OSError:  # pragma: no cover - best effort cleanup
                 pass
+        if error is not None:
+            raise ProvenanceError(
+                f"asynchronous spill writer failed: {error}"
+            ) from error
 
     def __enter__(self) -> "SpillManager":
         return self
@@ -227,15 +585,14 @@ def rebuild_store(spill: SpillManager) -> ProvenanceStore:
 
     static = spill.load_static()
     registry = SchemaRegistry()
-    for schema in static["schemas"].values():
-        registry.register(schema)
+    registry.register_all(static["schemas"].values())
     store = ProvenanceStore(registry)
     for relation, by_vertex in static["relations"].items():
         for rows in by_vertex.values():
-            store.add_all(relation, rows)
+            store.add_batch(relation, rows)
     for layer_index in spill.sealed_layers():
         layer = spill.load_layer(layer_index)
         for relation, by_vertex in layer.items():
             for rows in by_vertex.values():
-                store.add_all(relation, rows)
+                store.add_batch(relation, rows)
     return store

@@ -14,12 +14,13 @@ asynchronous HDFS offload.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import ProvenanceError
 from repro.pql.index import MIN_INDEX_ROWS, RowIndex
 from repro.provenance.model import RelationSchema, SchemaRegistry
-from repro.sizemodel import estimate_bytes
+from repro.sizemodel import RowSizer, estimate_bytes
 
 Row = Tuple[Any, ...]
 
@@ -93,21 +94,63 @@ class ProvenanceStore:
     query evaluation touches a few relations across many vertices.
     """
 
-    def __init__(self, registry: Optional[SchemaRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[SchemaRegistry] = None,
+        *,
+        intern: bool = True,
+        legacy_sizing: bool = False,
+    ) -> None:
         self.registry = registry or SchemaRegistry()
         self._data: Dict[str, Dict[Any, RelationPartition]] = {}
         self._bytes: Dict[str, int] = {}
         self._num_rows = 0
         self._max_superstep = -1
+        # Attribute intern pool: repeated string attributes (vertex labels,
+        # message tags) collapse to one object each, so the row sets hold
+        # references instead of copies. Only ``str`` is interned: CPython
+        # already caches small ints (the vertex ids), floats are mostly
+        # distinct in provenance (values, payloads) and would bloat the
+        # pool, and ``1 == 1.0 == True`` share a hash, so a mixed pool
+        # could swap types and change the size model's answer.
+        self._intern_pool: Optional[Dict[str, str]] = {} if intern else None
+        # ``legacy_sizing`` prices every row with the recursive
+        # ``estimate_bytes`` instead of the memoized per-relation sizer;
+        # both are byte-exact, the flag exists so benchmarks and identity
+        # tests can pin the pre-fast-lane behavior.
+        self._legacy_sizing = legacy_sizing
+        self._sizers: Dict[str, RowSizer] = {}
 
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
+    def _intern_row(self, row: Row, pool: Dict[str, str]) -> Row:
+        out = None
+        for i, v in enumerate(row):
+            if type(v) is str:
+                canon = pool.setdefault(v, v)
+                if canon is not v:
+                    if out is None:
+                        out = list(row)
+                    out[i] = canon
+        return row if out is None else tuple(out)
+
+    def _sizer_for(self, relation: str):
+        if self._legacy_sizing:
+            return estimate_bytes
+        sizer = self._sizers.get(relation)
+        if sizer is None:
+            sizer = self._sizers[relation] = RowSizer()
+        return sizer.best()
+
     def add(self, relation: str, row: Row) -> bool:
         """Insert a fact; returns True if new. The vertex is row's first
         attribute (the location specifier)."""
         schema = self.registry.get(relation)
         schema.check(row)
+        pool = self._intern_pool
+        if pool is not None:
+            row = self._intern_row(row, pool)
         vertex = schema.location_of(row)
         partitions = self._data.setdefault(relation, {})
         partition = partitions.get(vertex)
@@ -117,18 +160,120 @@ class ProvenanceStore:
         if not partition.add(row):
             return False
         self._num_rows += 1
-        self._bytes[relation] = self._bytes.get(relation, 0) + estimate_bytes(row)
+        size = self._sizer_for(relation)(row)
+        self._bytes[relation] = self._bytes.get(relation, 0) + size
         t = schema.time_of(row)
         if t is not None and t > self._max_superstep:
             self._max_superstep = t
         return True
 
-    def add_all(self, relation: str, rows: Iterable[Row]) -> int:
+    def add_batch(self, relation: str, rows: Iterable[Row]) -> int:
+        """Batched insert — the capture fast lane.
+
+        Semantically identical to calling :meth:`add` per row (same dedup,
+        same errors, same accounting), but the schema lookup, arity check
+        setup, partition-dict resolution and size-model dispatch happen
+        once per batch instead of once per row. Returns the number of rows
+        that were new.
+        """
+        iterator = iter(rows)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return 0
+        schema = self.registry.get(relation)
+        arity = schema.arity
+        time_index = schema.time_index
+        location = schema.location_index
+        sizer = self._sizer_for(relation)
+        partitions = self._data.setdefault(relation, {})
+        get_partition = partitions.get
+        # Intern columns are learned from the batch's first row, so
+        # string-free batches (most provenance relations are all-numeric)
+        # skip the pool entirely; rows whose columns deviate from the
+        # learned shape just miss the optimization.
+        pool = self._intern_pool
+        intern_cols: Tuple[int, ...] = ()
+        if pool is not None:
+            intern_cols = tuple(
+                i for i, v in enumerate(first) if type(v) is str
+            )
         added = 0
-        for row in rows:
-            if self.add(relation, row):
+        batch_bytes = 0
+        max_t = self._max_superstep
+        # The dedup/insert below inlines RelationPartition.add — the
+        # len-delta dedup hashes the row tuple once instead of twice and
+        # skips a method call per row, which is measurable at capture
+        # rates. Two copies of the loop: the first drops the intern scan
+        # and the time-index branch for the overwhelmingly common batch
+        # shape (all-numeric rows of a time-indexed relation). Keep all
+        # three in sync with RelationPartition.add.
+        if not intern_cols and time_index is not None:
+            for row in chain((first,), iterator):
+                if len(row) != arity:
+                    schema.check(row)  # raises the canonical arity error
+                vertex = row[location]
+                partition = get_partition(vertex)
+                if partition is None:
+                    partition = partitions[vertex] = RelationPartition(schema)
+                partition_rows = partition.rows
+                before = len(partition_rows)
+                partition_rows.add(row)
+                if len(partition_rows) == before:
+                    continue  # duplicate
+                partition.log.append(row)
                 added += 1
+                batch_bytes += sizer(row)
+                t = row[time_index]
+                by_time = partition.by_time
+                bucket = by_time.get(t)
+                if bucket is None:
+                    by_time[t] = {row}
+                else:
+                    bucket.add(row)
+                if t > max_t:
+                    max_t = t
+        else:
+            for row in chain((first,), iterator):
+                if len(row) != arity:
+                    schema.check(row)  # raises the canonical arity error
+                for i in intern_cols:
+                    v = row[i]
+                    if type(v) is str:
+                        canon = pool.setdefault(v, v)
+                        if canon is not v:
+                            row = row[:i] + (canon,) + row[i + 1:]
+                vertex = row[location]
+                partition = get_partition(vertex)
+                if partition is None:
+                    partition = partitions[vertex] = RelationPartition(schema)
+                partition_rows = partition.rows
+                before = len(partition_rows)
+                partition_rows.add(row)
+                if len(partition_rows) == before:
+                    continue  # duplicate
+                partition.log.append(row)
+                added += 1
+                batch_bytes += sizer(row)
+                if time_index is not None:
+                    t = row[time_index]
+                    by_time = partition.by_time
+                    bucket = by_time.get(t)
+                    if bucket is None:
+                        by_time[t] = {row}
+                    else:
+                        bucket.add(row)
+                    if t > max_t:
+                        max_t = t
+        if added:
+            self._num_rows += added
+            self._bytes[relation] = self._bytes.get(relation, 0) + batch_bytes
+            self._max_superstep = max_t
         return added
+
+    def add_all(self, relation: str, rows: Iterable[Row]) -> int:
+        """Alias of :meth:`add_batch` (kept for the pre-batching callers)."""
+        return self.add_batch(relation, rows)
 
     # ------------------------------------------------------------------
     # reading

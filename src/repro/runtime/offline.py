@@ -260,9 +260,10 @@ def run_layered_from_spill(
     start = time.perf_counter()
     static = spill.load_static()
     registry = SchemaRegistry()
-    for schema in static["schemas"].values():
-        registry.register(schema)
+    registry.register_all(static["schemas"].values())
     store = ProvenanceStore(registry)
+    # add_all delegates to the store's batched ingestion path, so slab
+    # replay amortizes schema checks and size accounting per partition.
     for relation, by_vertex in static["relations"].items():
         for rows in by_vertex.values():
             store.add_all(relation, rows)

@@ -45,6 +45,7 @@ from repro.pql.eval import MODE_ANCHORED, MODE_FREE, prepare_strata, run_prepare
 from repro.pql.parser import parse
 from repro.pql.udf import FunctionRegistry
 from repro.provenance.model import SchemaRegistry, freeze
+from repro.provenance.spill import SpillManager
 from repro.provenance.store import ProvenanceStore
 from repro.runtime.db import OnlineDatabase
 from repro.runtime.envelope import Envelope
@@ -132,19 +133,55 @@ class RecordingContext:
 
 
 class _PersistingOnlineDatabase(OnlineDatabase):
-    """Online database that also appends derived head tuples to a store."""
+    """Online database that also persists derived head tuples to a store.
+
+    Fresh head tuples are buffered per relation and drained in batches
+    through :meth:`ProvenanceStore.add_batch` (schema checks, interning and
+    size accounting amortize per batch instead of per row). Buffering is
+    safe because the capture store is write-only while the run is live:
+    online evaluation reads the derived/local partitions, never the store.
+    """
 
     def __init__(self, *args: Any, store: Optional[ProvenanceStore],
                  persist: Set[str], **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.store = store
         self.persist = persist if store is not None else set()
+        self._pending: Dict[str, List[Tuple[Any, ...]]] = {}
 
     def add(self, relation: str, row: Tuple[Any, ...]) -> bool:
         new = super().add(relation, row)
         if new and relation in self.persist:
-            self.store.add(relation, row)
+            bucket = self._pending.get(relation)
+            if bucket is None:
+                bucket = self._pending[relation] = []
+            bucket.append(row)
         return new
+
+    def disable_persistence(self) -> None:
+        """Stop persisting and drop the buffer (forked parallel workers:
+        their store copy dies with the process; the master re-derives the
+        shard's head tuples from ``parallel_state``)."""
+        self.persist = set()
+        self._pending.clear()
+
+    def flush_captured(self) -> Set[int]:
+        """Drain buffered head tuples into the store; returns the set of
+        supersteps the flush touched (for incremental layer sealing)."""
+        pending = self._pending
+        if not pending:
+            return set()
+        self._pending = {}
+        store = self.store
+        registry = store.registry
+        touched: Set[int] = set()
+        for relation, rows in pending.items():
+            store.add_batch(relation, rows)
+            time_index = registry.get(relation).time_index
+            if time_index is not None:
+                for row in rows:
+                    touched.add(row[time_index])
+        return touched
 
 
 class OnlineQueryProgram(VertexProgram):
@@ -162,6 +199,8 @@ class OnlineQueryProgram(VertexProgram):
         ship_full_tables: bool = False,
         timed_index: bool = True,
         use_index: bool = True,
+        spill: Optional[SpillManager] = None,
+        eager_seal: bool = True,
     ) -> None:
         compiled.require_online()
         aggregate_heads = {
@@ -187,6 +226,14 @@ class OnlineQueryProgram(VertexProgram):
         )
         # Hash-probe access paths (EngineConfig.query_index / --no-index).
         self.db.index_enabled = use_index
+        # Incremental layer sealing: with a spill manager attached, each
+        # superstep's completed layer is handed to the writer at the
+        # barrier (master_halt) instead of being re-materialized by
+        # seal_all at run end. Serial backend only (``eager_seal``) — under
+        # the parallel backend the master's store fills at merge time.
+        self._capture_spill = spill if eager_seal else None
+        self.sealed_layers = 0
+        self._sealed_through = -1
         need = compiled.auto_capture
         self._need_superstep = "superstep" in need
         self._need_value = "value" in need
@@ -259,7 +306,43 @@ class OnlineQueryProgram(VertexProgram):
         return self.inner.aggregators()
 
     def master_halt(self, aggregators: Any, superstep: int) -> bool:
-        return self.inner.master_halt(aggregators, superstep)
+        halt = self.inner.master_halt(aggregators, superstep)
+        if self.db.persist:
+            # The barrier for `superstep` has passed: its layer is
+            # complete. Batch-flush the buffered head tuples, then hand
+            # the finished layer(s) to the spill writer.
+            touched = self.db.flush_captured()
+            if self._capture_spill is not None:
+                self._seal_completed(touched, superstep)
+        return halt
+
+    def _seal_completed(self, touched: Set[int], through: int) -> None:
+        """Seal every layer up to ``through`` that is not sealed yet, and
+        re-seal any already-sealed layer the last flush appended to (a
+        re-seal just overwrites the slab, so late rows cost one write)."""
+        spill = self._capture_spill
+        sealed_through = self._sealed_through
+        for t in sorted(touched):
+            if t <= sealed_through:
+                spill.seal_layer_nowait(t)
+                self.sealed_layers += 1
+        through = min(through, self.db.store.max_superstep)
+        while sealed_through < through:
+            sealed_through += 1
+            spill.seal_layer_nowait(sealed_through)
+            self.sealed_layers += 1
+        self._sealed_through = sealed_through
+
+    def finish_capture(self) -> None:
+        """Flush buffered captured rows after the engine loop — the
+        engine's early-halt paths can skip the final ``master_halt`` — and
+        re-seal any layer that final flush touched. Layers never sealed
+        eagerly (and the static slab) are left to ``seal_all``."""
+        if not self.db.persist:
+            return
+        touched = self.db.flush_captured()
+        if self._capture_spill is not None and touched:
+            self._seal_completed(touched, max(touched))
 
     def combiner(self):
         return None  # envelopes carry senders and tables; never combine
@@ -413,6 +496,13 @@ class OnlineQueryProgram(VertexProgram):
     # result-building code below works unchanged on both backends.
     def parallel_worker_begin(self, worker_id: int, shard: Sequence[Any]) -> None:
         """Called in a freshly forked worker before superstep 0."""
+        # Capture persistence is master-side only: this fork's store copy
+        # dies with the worker, and the master re-derives the shard's head
+        # tuples from ``parallel_state`` at merge time. The spill writer
+        # thread (if any) did not survive the fork either; drop the
+        # reference so the worker never touches the manager.
+        self.db.disable_persistence()
+        self._capture_spill = None
         # The construction-time tracer belongs to the master process;
         # re-resolve against the worker's own (fresh) tracer.
         self._tracer = get_tracer()
@@ -537,12 +627,17 @@ def run_online(
     capture: bool = False,
     config: Optional[EngineConfig] = None,
     max_supersteps: Optional[int] = None,
+    spill_directory: Optional[str] = None,
 ) -> OnlineRunResult:
     """Run ``analytic`` on ``graph`` with ``query`` evaluated online.
 
     ``query`` may be PQL source text, a parsed program, or an already
     compiled query. With ``capture=True`` the derived head relations are
     persisted into a fresh :class:`ProvenanceStore` returned on the result.
+    With ``spill_directory`` as well, a :class:`SpillManager` (configured
+    from ``config.spill_async`` / ``config.spill_compression``) seals each
+    completed layer during the run and is returned on ``result.spill`` —
+    call ``result.spill.seal_all()`` to finish the static slab.
     """
     functions = FunctionRegistry(udfs)
     compiled = _compile(query, functions, params)
@@ -551,22 +646,34 @@ def run_online(
     store: Optional[ProvenanceStore] = None
     if capture:
         store = ProvenanceStore()
-        for schema in compiled.idb_schemas.values():
-            store.registry.register(schema)
+        store.registry.register_all(compiled.idb_schemas.values())
 
     engine_config = replace(
         config or EngineConfig(),
         use_combiner=False,  # envelopes carry senders and tables
     )
+    spill: Optional[SpillManager] = None
+    if capture and spill_directory is not None:
+        spill = SpillManager(
+            store,
+            directory=spill_directory,
+            async_writes=engine_config.spill_async,
+            compression=engine_config.spill_compression,
+        )
     wrapper = OnlineQueryProgram(
         program, compiled, functions, graph, store=store,
         value_projector=projector,
         use_index=engine_config.query_index,
+        spill=spill,
+        # Under the parallel backend the master's store only fills at
+        # merge time; eager per-superstep sealing is serial-only.
+        eager_seal=engine_config.backend == "serial",
     )
     wrapper.run_setup()
 
     engine = make_engine(graph, config=engine_config)
     run = engine.run(wrapper, max_supersteps=max_supersteps)
+    wrapper.finish_capture()
     wrapper.finish_trace()
     logger.debug(
         "online run %s: %d supersteps, %d derivations, %.3fs query time",
@@ -591,9 +698,12 @@ def run_online(
             "use_index": engine_config.query_index,
             "index_probes": wrapper.db.index_probes,
             "index_scans": wrapper.db.index_scans,
+            "sealed_layers": wrapper.sealed_layers,
         },
     )
-    return OnlineRunResult(analytic=run, query=query_result, store=store)
+    return OnlineRunResult(
+        analytic=run, query=query_result, store=store, spill=spill
+    )
 
 
 def _compile(

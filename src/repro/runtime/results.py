@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.engine.engine import RunResult
 from repro.pql.eval import Row, TupleStore
+from repro.provenance.spill import SpillManager
 from repro.provenance.store import ProvenanceStore
 
 
@@ -50,11 +51,13 @@ class QueryResult:
 class OnlineRunResult:
     """Outcome of an online (or capture) run: the analytic's result, the
     query result evaluated in lockstep, and — for capture runs — the
-    persisted provenance store."""
+    persisted provenance store, plus the spill manager when a spill
+    directory was supplied (layers sealed eagerly during the run)."""
 
     analytic: RunResult
     query: QueryResult
     store: Optional[ProvenanceStore] = None
+    spill: Optional[SpillManager] = None
 
     @property
     def values(self) -> Dict[Any, Any]:

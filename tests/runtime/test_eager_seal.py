@@ -1,0 +1,117 @@
+"""Eager layer sealing during capture: completed layers reach the spill
+manager at superstep barriers, not at run end."""
+
+import os
+
+import pytest
+
+from repro.analytics.pagerank import PageRank
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.engine.config import EngineConfig
+from repro.errors import EngineError
+from repro.graph.generators import web_graph, with_random_weights
+from repro.provenance.spill import rebuild_store
+from repro.runtime.online import run_online
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return web_graph(100, avg_degree=4, target_diameter=7, seed=77)
+
+
+def _store_dict(store):
+    return {
+        relation: sorted(store.rows(relation), key=repr)
+        for relation in sorted(store.relations())
+    }
+
+
+class TestEagerSealing:
+    def test_layers_sealed_during_run(self, graph, tmp_path):
+        result = run_online(
+            graph, PageRank(num_supersteps=6), Q.CAPTURE_FULL_QUERY,
+            capture=True, spill_directory=str(tmp_path),
+        )
+        assert result.spill is not None
+        # Layers were handed to the writer while the analytic ran; the
+        # final seal_all only adds the static slab and any stragglers.
+        assert result.query.stats["sealed_layers"] > 0
+        result.spill.flush()
+        sealed = set(result.spill.sealed_layers())
+        assert sealed, "no layer slab written before seal_all"
+        for superstep in sealed:
+            assert os.path.exists(result.spill.slab_path(superstep))
+        result.spill.seal_all()
+        rebuilt = rebuild_store(result.spill)
+        assert _store_dict(rebuilt) == _store_dict(result.store)
+        assert rebuilt.total_bytes() == result.store.total_bytes()
+        result.spill.close()
+
+    def test_sync_raw_spill_round_trip(self, graph, tmp_path):
+        config = EngineConfig(spill_async=False, spill_compression="raw")
+        result = run_online(
+            graph, PageRank(num_supersteps=4), Q.CAPTURE_FULL_QUERY,
+            capture=True, spill_directory=str(tmp_path), config=config,
+        )
+        assert not result.spill.async_writes
+        assert result.spill.compression == "raw"
+        result.spill.seal_all()
+        rebuilt = rebuild_store(result.spill)
+        assert _store_dict(rebuilt) == _store_dict(result.store)
+        result.spill.close()
+
+    def test_early_halt_still_flushes_capture(self, tmp_path):
+        # SSSP converges and halts before a fixed superstep budget; the
+        # finish_capture flush must cover the final partial layer.
+        wgraph = with_random_weights(
+            web_graph(60, avg_degree=4, target_diameter=6, seed=5), seed=5
+        )
+        result = run_online(
+            wgraph, SSSP(source=0), Q.CAPTURE_FULL_QUERY,
+            capture=True, spill_directory=str(tmp_path),
+        )
+        result.spill.seal_all()
+        rebuilt = rebuild_store(result.spill)
+        assert _store_dict(rebuilt) == _store_dict(result.store)
+        result.spill.close()
+
+    def test_no_spill_directory_means_no_manager(self, graph):
+        result = run_online(
+            graph, PageRank(num_supersteps=3), Q.CAPTURE_FULL_QUERY,
+            capture=True,
+        )
+        assert result.spill is None
+        assert result.query.stats["sealed_layers"] == 0
+
+
+class TestParallelCaptureSpill:
+    def test_parallel_backend_capture_round_trip(self, graph, tmp_path):
+        config = EngineConfig(backend="parallel", num_workers=2)
+        serial = run_online(
+            graph, PageRank(num_supersteps=4), Q.CAPTURE_FULL_QUERY,
+            capture=True,
+        )
+        parallel = run_online(
+            graph, PageRank(num_supersteps=4), Q.CAPTURE_FULL_QUERY,
+            capture=True, spill_directory=str(tmp_path), config=config,
+        )
+        # Workers never persist; the master re-derives and seals at the
+        # end, so eager per-superstep sealing is disabled.
+        assert parallel.query.stats["sealed_layers"] == 0
+        parallel.spill.seal_all()
+        rebuilt = rebuild_store(parallel.spill)
+        assert _store_dict(rebuilt) == _store_dict(serial.store)
+        parallel.spill.close()
+
+
+class TestConfigValidation:
+    def test_bad_compression_rejected(self):
+        with pytest.raises(EngineError):
+            EngineConfig(spill_compression="bogus").validate()
+
+    def test_defaults_are_async_zlib(self):
+        config = EngineConfig()
+        config.validate()
+        assert config.spill_async is True
+        assert config.spill_compression == "zlib"

@@ -80,6 +80,28 @@ class TestCLI:
         assert main(["inspect", "--store", store_dir, "--vertex", "0"]) == 0
         assert "vertex 0" in capsys.readouterr().out
 
+    def test_capture_sync_raw_spill(self, graph_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "prov-raw")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir, "--spill-sync", "--spill-compression", "raw",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(raw, sync)" in out
+        assert os.path.exists(os.path.join(store_dir, "static.slab"))
+
+        assert main(["inspect", "--store", store_dir]) == 0
+        assert "provenance store" in capsys.readouterr().out
+
+    def test_capture_default_is_async_zlib(self, graph_file, tmp_path,
+                                           capsys):
+        store_dir = str(tmp_path / "prov-zlib")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        assert "(zlib, async)" in capsys.readouterr().out
+
     def test_missing_query_errors(self, graph_file, capsys):
         code = main(["monitor", "--analytic", "sssp", "--graph", graph_file])
         assert code == 2
