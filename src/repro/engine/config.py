@@ -39,6 +39,30 @@ class EngineConfig:
             when no explicit partitioner object is supplied — ``"hash"``
             (stable crc32 hash, Giraph's default) or ``"range"``
             (contiguous integer ranges, integer ids only).
+        transport: how the multiprocess backend moves message batches
+            between worker processes — ``"ring"`` (the default:
+            single-producer/single-consumer shared-memory byte rings with
+            struct-packed envelopes, see :mod:`repro.parallel.rings`) or
+            ``"queue"`` (the original per-worker ``multiprocessing.Queue``
+            path, kept as a fallback and for differential testing).
+            Results are byte-identical under both; only wall clock and
+            ``network_bytes`` framing differ. Ignored by the serial
+            backend.
+        ring_capacity: bytes of buffer per directed worker pair under the
+            ring transport. Frames larger than the ring stream through it
+            in chunks (senders and receivers pump concurrently), so this
+            bounds memory, not message size.
+        transport_wait_seconds: how long a worker waits on a peer's ring
+            or queue before declaring the exchange wedged. The master
+            separately detects dead workers by polling liveness; this is
+            the worker-side backstop that keeps a stuck peer from hanging
+            the fleet forever.
+        warm_pool: keep the forked worker processes (shard graphs and
+            attached transports included) alive across ``run()`` calls on
+            the same engine, re-initializing them per run by shipping the
+            pickled program. Programs that do not pickle (e.g. closures)
+            transparently fall back to a fresh fork. Turn off to restore
+            fork-per-run behavior.
         query_index: let online query evaluation hash-probe partitions on
             bound argument positions instead of scanning them (see
             :mod:`repro.pql.index`). Results are byte-identical either
@@ -63,6 +87,10 @@ class EngineConfig:
     frontier_scheduling: bool = True
     backend: str = "serial"
     partitioner: str = "hash"
+    transport: str = "ring"
+    ring_capacity: int = 1 << 20
+    transport_wait_seconds: float = 60.0
+    warm_pool: bool = True
     query_index: bool = True
     spill_async: bool = True
     spill_compression: str = "zlib"
@@ -80,6 +108,14 @@ class EngineConfig:
             raise EngineError(
                 f"unknown partitioner {self.partitioner!r} (hash | range)"
             )
+        if self.transport not in ("ring", "queue"):
+            raise EngineError(
+                f"unknown transport {self.transport!r} (ring | queue)"
+            )
+        if self.ring_capacity < 4096:
+            raise EngineError("ring_capacity must be >= 4096 bytes")
+        if self.transport_wait_seconds <= 0:
+            raise EngineError("transport_wait_seconds must be > 0")
         if self.spill_compression not in ("raw", "zlib"):
             raise EngineError(
                 f"unknown spill compression {self.spill_compression!r} "

@@ -29,6 +29,13 @@ class SuperstepMetrics:
     active_vertices: int = 0
     messages_sent: int = 0
     messages_combined: int = 0
+    # Messages folded away on the *sender* side before serialization
+    # (ring transport with an associative combiner). Always 0 serially:
+    # there is no wire, so every fold is a plain combine. The invariant
+    # messages_combined + messages_precombined == serial messages_combined
+    # holds per superstep — pre-combining moves folds, it never adds or
+    # drops one.
+    messages_precombined: int = 0
     cross_worker_messages: int = 0
     message_bytes: int = 0
     # Bytes of pickled message batches that actually crossed a process
@@ -56,6 +63,12 @@ class RunMetrics:
     # nothing was sent — and summary() reports None instead of that
     # misleading zero.
     track_message_bytes: bool = True
+    # Whether network_bytes was *measured* (multiprocess backend) rather
+    # than structurally zero because nothing ever crossed a process
+    # boundary (serial backend). Mirrors the track_message_bytes
+    # convention: summary() reports None instead of a misleading 0 when
+    # no measurement happened.
+    measured_network_bytes: bool = False
 
     @property
     def num_supersteps(self) -> int:
@@ -82,6 +95,22 @@ class RunMetrics:
     def total_network_bytes(self) -> int:
         """Measured bytes shipped between worker processes (0 when serial)."""
         return sum(s.network_bytes for s in self.supersteps)
+
+    @property
+    def total_messages_combined(self) -> int:
+        return sum(s.messages_combined for s in self.supersteps)
+
+    @property
+    def total_messages_precombined(self) -> int:
+        return sum(s.messages_precombined for s in self.supersteps)
+
+    @property
+    def combine_ratio(self) -> float:
+        """Fraction of sent messages a combiner folded away (either side)."""
+        folded = self.total_messages_combined + self.total_messages_precombined
+        if not self.total_messages:
+            return 0.0
+        return folded / self.total_messages
 
     @property
     def total_frontier_size(self) -> int:
@@ -115,8 +144,14 @@ class RunMetrics:
             "message_bytes": (
                 self.total_message_bytes if self.track_message_bytes else None
             ),
+            "messages_combined": self.total_messages_combined,
+            "messages_precombined": self.total_messages_precombined,
+            "combine_ratio": self.combine_ratio,
             "cross_worker_messages": self.total_cross_worker_messages,
-            "network_bytes": self.total_network_bytes,
+            "network_bytes": (
+                self.total_network_bytes
+                if self.measured_network_bytes else None
+            ),
             "frontier_vertices": self.total_frontier_size,
             "skipped_vertices": self.total_skipped_vertices,
         }
@@ -147,7 +182,11 @@ class RunMetrics:
         registry.counter(
             "repro_engine_messages_combined_total",
             "messages folded by a combiner",
-        ).inc(sum(s.messages_combined for s in self.supersteps))
+        ).inc(self.total_messages_combined)
+        registry.counter(
+            "repro_engine_messages_precombined_total",
+            "messages folded sender-side before serialization",
+        ).inc(self.total_messages_precombined)
         registry.counter(
             "repro_engine_cross_worker_messages_total",
             "messages that crossed a worker boundary",

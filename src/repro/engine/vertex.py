@@ -20,18 +20,31 @@ from repro.errors import EngineError
 
 
 class Combiner:
-    """Message combiner: reduces messages addressed to the same target."""
+    """Message combiner: reduces messages addressed to the same target.
+
+    ``associative`` declares that any fold tree over a message sequence
+    produces a value ``==`` to the serial left fold. The parallel backend
+    only pre-combines on the sender side when this is True; float addition
+    is famously not associative, so :class:`SumCombiner` leaves it False
+    and keeps receiver-side (serial-order) folding.
+    """
+
+    associative = False
 
     def combine(self, a: Any, b: Any) -> Any:
         raise NotImplementedError
 
 
 class MinCombiner(Combiner):
+    associative = True
+
     def combine(self, a: Any, b: Any) -> Any:
         return a if a <= b else b
 
 
 class MaxCombiner(Combiner):
+    associative = True
+
     def combine(self, a: Any, b: Any) -> Any:
         return a if a >= b else b
 

@@ -45,10 +45,12 @@ PHASE_CAPTURE = "provenance-capture"
 PHASE_QUERY = "query-eval"
 PHASE_SPILL = "spill"
 PHASE_CHECKPOINT = "checkpoint"
+PHASE_TRANSPORT = "transport"  # worker-side message exchange (parallel)
 
 PHASES = (
     PHASE_RUN, PHASE_SUPERSTEP, PHASE_COMPUTE, PHASE_BARRIER, PHASE_COMBINE,
     PHASE_CAPTURE, PHASE_QUERY, PHASE_SPILL, PHASE_CHECKPOINT,
+    PHASE_TRANSPORT,
 )
 
 

@@ -2,9 +2,12 @@
 
 The serial engine *simulates* ``num_workers`` workers in one process;
 this package runs them as real forked OS processes, one graph shard each,
-exchanging pickled message batches with a master-coordinated superstep
-barrier — and still produces byte-identical results (see
-``DESIGN.md`` section 7 for the protocol and the determinism argument).
+exchanging framed message batches through a pluggable transport —
+shared-memory SPSC rings by default, ``multiprocessing.Queue`` as the
+fallback — under a master-coordinated superstep barrier, and still
+produces byte-identical results (see ``DESIGN.md`` sections 7 and 10 for
+the protocol and the determinism argument). A warm worker pool keeps the
+forked fleet alive across runs of the same engine.
 """
 
 from repro.parallel.backend import build_partitioner, make_engine
@@ -15,13 +18,27 @@ from repro.parallel.messages import (
     ShardCheckpoint,
     merge_shard_checkpoints,
 )
+from repro.parallel.transport import (
+    QueueTransport,
+    RingTransport,
+    create_transport,
+    decode_frame,
+    encode_batch,
+)
+from repro.parallel.worker import WorkerPool
 
 __all__ = [
     "BarrierReport",
     "FinalReport",
     "ParallelEngine",
+    "QueueTransport",
+    "RingTransport",
     "ShardCheckpoint",
+    "WorkerPool",
     "build_partitioner",
+    "create_transport",
+    "decode_frame",
+    "encode_batch",
     "make_engine",
     "merge_shard_checkpoints",
 ]

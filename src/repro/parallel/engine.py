@@ -5,23 +5,33 @@
 ``run()`` contract, byte-identical vertex values and halting behavior. The
 difference is that ``num_workers`` is no longer simulated — each worker is
 a forked OS process owning one shard, message batches really cross process
-boundaries as pickled blobs (measured in the new ``network_bytes``
-metric), and the superstep barrier is a master-coordinated reduction:
+boundaries through a pluggable transport (shared-memory rings by default,
+measured in the ``network_bytes`` metric), and the superstep barrier is a
+master-coordinated reduction:
 
 1. master broadcasts ``("step", s, aggregator_values, checkpoint?)``;
-2. workers compute their shard frontier, exchange tagged message batches
-   peer-to-peer, and report counters + raw aggregator contributions +
-   drained trace events (+ optionally a shard checkpoint);
+2. workers compute their shard frontier, exchange tagged message frames
+   peer-to-peer through the transport, and report counters + raw
+   aggregator contributions + drained trace events (+ optionally a shard
+   checkpoint);
 3. master folds the contributions into the real aggregator registry in
    global ``(sender_pos, seq)`` order, merges worker trace events into its
    own trace, evaluates ``master_halt`` and the termination rules in
    exactly the serial engine's order, and either broadcasts the next step
-   or ``("finish",)``.
+   or collects final state.
 
 Workers are forked, not spawned: the graph, the program (including
 closures and lambdas, which do not pickle) and the routing tables are
 inherited copy-on-write, so the backend accepts every program the serial
 engine accepts. Platforms without ``fork`` raise ``EngineError``.
+
+The fork happens once per engine, not once per run: a
+:class:`~repro.parallel.worker.WorkerPool` keeps the fleet (and its
+transport) warm across ``run()`` calls, shipping only the pickled
+program per run. Programs that do not pickle transparently fall back to
+a fresh fork, so nothing the old fork-per-run path accepted is rejected.
+Set ``EngineConfig.warm_pool = False`` (or mutate the graph between
+runs — the pool cannot see mutations) to fork per run again.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ import os
 import pickle
 import queue as queue_module
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.aggregators import AggregatorRegistry
 from repro.engine.checkpoint import checkpoint_path
@@ -39,7 +49,7 @@ from repro.engine.config import EngineConfig
 from repro.engine.engine import RunResult
 from repro.engine.metrics import RunMetrics, SuperstepMetrics
 from repro.engine.vertex import VertexProgram
-from repro.errors import EngineError
+from repro.errors import EngineError, VertexProgramError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import HashPartitioner, Partitioner
 from repro.obs.log import get_logger
@@ -51,19 +61,35 @@ from repro.obs.trace import (
     get_tracer,
 )
 from repro.parallel.messages import (
-    CMD_ABORT,
-    CMD_FINISH,
+    CMD_COLLECT,
     CMD_STEP,
     BarrierReport,
     FinalReport,
     merge_shard_checkpoints,
 )
-from repro.parallel.worker import worker_main
+from repro.parallel.worker import WorkerPool
 
 logger = get_logger("parallel")
 
 #: Seconds between liveness checks while waiting for worker reports.
 _POLL_SECONDS = 1.0
+
+#: How long the master keeps draining reports after the first error, so a
+#: root-cause ``VertexProgramError`` can displace a secondary transport
+#: error (peers of a failed worker die of ring poisoning, and their
+#: reports can reach the control queue first).
+_ERROR_GRACE_SECONDS = 5.0
+
+
+def _error_rank(error: BaseException) -> int:
+    """Lower is more interesting to the caller: a vertex program failure
+    is the root cause; a bare ``EngineError`` is usually transport
+    collateral (poisoned ring, died peer)."""
+    if isinstance(error, VertexProgramError):
+        return 0
+    if not isinstance(error, EngineError):
+        return 1
+    return 2
 
 
 class ParallelEngine:
@@ -98,6 +124,81 @@ class ParallelEngine:
             os.makedirs(checkpoint_dir, exist_ok=True)
         self.checkpoints_written = 0
         self.aggregators = AggregatorRegistry()
+        self._pool: Optional[WorkerPool] = None
+        # Routing tables are a function of (graph, partitioner), both
+        # fixed at construction; computed once and reused across runs.
+        self._tables: Optional[Tuple[Any, Dict[Any, int], List[List[Any]]]] = (
+            None
+        )
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the warm worker pool down (idempotent).
+
+        Engines are context managers; without either, the pool is still
+        reaped when the engine is garbage collected.
+        """
+        self._teardown(force=False)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _teardown(self, force: bool) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(force=force)
+
+    def _routing_tables(self) -> Tuple[Any, Dict[Any, int], List[List[Any]]]:
+        if self._tables is None:
+            graph = self.graph
+            order_of = graph.vertex_order()
+            vertices = list(graph.vertices())
+            worker_of = {v: self.partitioner.worker_of(v) for v in vertices}
+            shards: List[List[Any]] = [
+                [] for _ in range(self.config.num_workers)
+            ]
+            for v in vertices:
+                shards[worker_of[v]].append(v)
+            graph.out_edges_map()  # warm the adjacency cache pre-fork
+            self._tables = (order_of, worker_of, shards)
+        return self._tables
+
+    def _ensure_pool(self, program: VertexProgram) -> Tuple[
+        WorkerPool, Optional[bytes]
+    ]:
+        """A live pool plus the program blob to init it with.
+
+        Reusing the warm pool requires shipping the program by pickle; a
+        program that will not pickle (closures, provenance wrappers) gets
+        a fresh fork instead, inheriting it copy-on-write — exactly the
+        old fork-per-run behavior.
+        """
+        order_of, worker_of, shards = self._routing_tables()
+        pool = self._pool
+        if pool is not None and not pool.alive:
+            self._teardown(force=True)
+            pool = None
+        if pool is not None:
+            try:
+                blob: Optional[bytes] = pickle.dumps(
+                    program, pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:  # noqa: BLE001 - any pickling failure
+                blob = None
+            if blob is not None:
+                return pool, blob
+            self._teardown(force=False)
+        pool = WorkerPool(
+            self.graph, self.config, shards, worker_of, order_of, program
+        )
+        self._pool = pool
+        return pool, None
 
     # ------------------------------------------------------------------
     def run(
@@ -119,19 +220,8 @@ class ParallelEngine:
                 "provenance-wrapped programs from superstep 0 instead"
             )
         limit = max_supersteps or self.config.max_supersteps
-        graph = self.graph
+        num_vertices = self.graph.num_vertices
         num_workers = self.config.num_workers
-        num_vertices = graph.num_vertices
-
-        # Everything the workers need is materialized before the fork so
-        # it is inherited copy-on-write instead of pickled.
-        order_of = graph.vertex_order()
-        vertices = list(graph.vertices())
-        worker_of = {v: self.partitioner.worker_of(v) for v in vertices}
-        shards: List[List[Any]] = [[] for _ in range(num_workers)]
-        for v in vertices:
-            shards[worker_of[v]].append(v)
-        graph.out_edges_map()  # warm the adjacency cache pre-fork
 
         self.aggregators = AggregatorRegistry(program.aggregators())
         registry = self.aggregators
@@ -143,34 +233,24 @@ class ParallelEngine:
                 "run", PHASE_RUN,
                 program=getattr(program, "name", type(program).__name__),
                 vertices=num_vertices, workers=num_workers,
-                backend="parallel",
+                backend="parallel", transport=self.config.transport,
             )
         run_start = time.perf_counter()
 
-        ctx = multiprocessing.get_context("fork")
-        data_queues = [ctx.Queue() for _ in range(num_workers)]
-        cmd_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
-        ctrl: Any = ctx.Queue()
-        procs = [
-            ctx.Process(
-                target=worker_main,
-                args=(
-                    wid, graph, program, self.config, shards[wid],
-                    worker_of, order_of, data_queues, cmd_queues[wid],
-                    ctrl, traced,
-                ),
-                daemon=True,
-                name=f"repro-worker-{wid}",
-            )
-            for wid in range(num_workers)
-        ]
-        for proc in procs:
-            proc.start()
+        order_of, _worker_of, _shards = self._routing_tables()
+        pool, blob = self._ensure_pool(program)
 
         metrics = RunMetrics()
         metrics.track_message_bytes = self.config.track_message_bytes
+        metrics.measured_network_bytes = True
         halt_reason = "max_supersteps"
+        wait_histogram = get_registry().histogram(
+            "repro_transport_wait_seconds",
+            "per-worker per-superstep time blocked on the message transport",
+            labels=("transport",),
+        ).labels(self.config.transport)
         try:
+            pool.init_run(blob, traced)
             for superstep in range(limit):
                 if traced:
                     step_span = tracer.span(
@@ -182,20 +262,24 @@ class ParallelEngine:
                     and (superstep + 1) % self.checkpoint_interval == 0
                 )
                 agg_values = registry.values()
-                command = (CMD_STEP, superstep, agg_values, want_checkpoint)
-                for cmd_queue in cmd_queues:
-                    cmd_queue.put(command)
+                pool.broadcast(
+                    (CMD_STEP, superstep, agg_values, want_checkpoint)
+                )
 
-                reports = self._gather(ctrl, procs, superstep)
+                reports = self._gather(pool, superstep)
 
                 step = SuperstepMetrics(superstep)
+                wait_seconds = 0.0
                 for report in reports:
                     step.active_vertices += report.executed
                     step.messages_sent += report.messages_sent
                     step.messages_combined += report.messages_combined
+                    step.messages_precombined += report.messages_precombined
                     step.cross_worker_messages += report.cross_worker_messages
                     step.message_bytes += report.message_bytes
                     step.network_bytes += report.network_bytes
+                    wait_seconds += report.wait_seconds
+                    wait_histogram.observe(report.wait_seconds)
                 step.frontier_size = step.active_vertices
                 step.skipped_vertices = num_vertices - step.active_vertices
                 step.wall_seconds = time.perf_counter() - step_start
@@ -228,7 +312,12 @@ class ParallelEngine:
                         [r.checkpoint for r in reports]
                     )
                 if traced:
-                    barrier_span.end()
+                    barrier_span.end(
+                        network_bytes=step.network_bytes,
+                        messages_combined=step.messages_combined,
+                        messages_precombined=step.messages_precombined,
+                        transport_wait_seconds=wait_seconds,
+                    )
                     step_span.end(
                         active_vertices=step.active_vertices,
                         messages_sent=step.messages_sent,
@@ -249,15 +338,16 @@ class ParallelEngine:
                     break
 
             values, edge_values = self._finish(
-                ctrl, cmd_queues, procs, program, tracer, traced,
+                pool, program, tracer, traced,
                 run_span.span_id if traced else None, order_of,
             )
         except BaseException:
-            self._shutdown(procs, cmd_queues, data_queues, ctrl, force=True)
+            self._teardown(force=True)
             if traced:
                 run_span.end(halt_reason="error")
             raise
-        self._shutdown(procs, cmd_queues, data_queues, ctrl, force=False)
+        if not self.config.warm_pool:
+            self._teardown(force=False)
 
         metrics.wall_seconds = time.perf_counter() - run_start
         if traced:
@@ -267,10 +357,11 @@ class ParallelEngine:
         metrics.publish(get_registry())
         logger.debug(
             "parallel run %s finished: %d supersteps, %d messages, "
-            "%d network bytes, %.3fs (%s)",
+            "%d network bytes via %s, %.3fs (%s)",
             getattr(program, "name", type(program).__name__),
             metrics.num_supersteps, metrics.total_messages,
-            metrics.total_network_bytes, metrics.wall_seconds, halt_reason,
+            metrics.total_network_bytes, self.config.transport,
+            metrics.wall_seconds, halt_reason,
         )
         return RunResult(
             values=values,
@@ -281,24 +372,49 @@ class ParallelEngine:
         )
 
     # ------------------------------------------------------------------
+    def _raise_best_error(self, pool: WorkerPool, first: BaseException) -> None:
+        """Raise the most root-cause-looking error reported this barrier.
+
+        After one worker reports an error, its peers usually fail too
+        (poisoned rings), and queue arrival order is not causal order —
+        so drain briefly and prefer a ``VertexProgramError`` over
+        transport collateral.
+        """
+        best = first
+        if _error_rank(best) != 0:
+            deadline = time.monotonic() + _ERROR_GRACE_SECONDS
+            while time.monotonic() < deadline:
+                try:
+                    report = pool.ctrl.get(timeout=0.05)
+                except queue_module.Empty:
+                    if not any(p.is_alive() for p in pool.procs):
+                        break
+                    continue
+                error = getattr(report, "error", None)
+                if error is not None and _error_rank(error) < _error_rank(best):
+                    best = error
+                if _error_rank(best) == 0:
+                    break
+        raise best
+
     def _gather(
-        self, ctrl: Any, procs: List[Any], superstep: int
+        self, pool: WorkerPool, superstep: int
     ) -> List[BarrierReport]:
         """Collect one barrier report per worker, surfacing worker errors
         and deaths instead of hanging."""
         reports: Dict[int, BarrierReport] = {}
-        while len(reports) < len(procs):
+        while len(reports) < pool.num_workers:
             try:
-                report = ctrl.get(timeout=_POLL_SECONDS)
+                report = pool.ctrl.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                dead = [p.name for p in procs if not p.is_alive()]
+                dead = [p.name for p in pool.procs if not p.is_alive()]
                 if dead:
                     raise EngineError(
                         f"worker process died without reporting: {dead}"
                     ) from None
                 continue
             if report.error is not None:
-                raise report.error
+                self._raise_best_error(pool, report.error)
             if not isinstance(report, BarrierReport):
                 raise EngineError(
                     f"protocol error: expected a barrier report, got "
@@ -314,9 +430,7 @@ class ParallelEngine:
 
     def _finish(
         self,
-        ctrl: Any,
-        cmd_queues: List[Any],
-        procs: List[Any],
+        pool: WorkerPool,
         program: VertexProgram,
         tracer: Any,
         traced: bool,
@@ -324,21 +438,20 @@ class ParallelEngine:
         order_of: Dict[Any, int],
     ) -> Any:
         """Collect final shard state and merge it into one result."""
-        for cmd_queue in cmd_queues:
-            cmd_queue.put((CMD_FINISH,))
+        pool.broadcast((CMD_COLLECT,))
         finals: Dict[int, FinalReport] = {}
-        while len(finals) < len(procs):
+        while len(finals) < pool.num_workers:
             try:
-                report = ctrl.get(timeout=_POLL_SECONDS)
+                report = pool.ctrl.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                dead = [p.name for p in procs if not p.is_alive()]
+                dead = [p.name for p in pool.procs if not p.is_alive()]
                 if dead:
                     raise EngineError(
                         f"worker process died without reporting: {dead}"
                     ) from None
                 continue
             if report.error is not None:
-                raise report.error
+                self._raise_best_error(pool, report.error)
             finals[report.worker_id] = report
 
         merged: Dict[Any, Any] = {}
@@ -391,32 +504,3 @@ class ParallelEngine:
             "parallel checkpoint at superstep %d -> %s",
             snapshot.superstep, path,
         )
-
-    def _shutdown(
-        self,
-        procs: List[Any],
-        cmd_queues: List[Any],
-        data_queues: List[Any],
-        ctrl: Any,
-        force: bool,
-    ) -> None:
-        if force:
-            # Workers may be blocked mid-exchange on a peer that already
-            # died; don't wait for them to notice — kill the fleet.
-            for cmd_queue in cmd_queues:
-                try:
-                    cmd_queue.put((CMD_ABORT,))
-                except Exception:  # noqa: BLE001 - already tearing down
-                    pass
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-        for proc in procs:
-            proc.join(timeout=30.0)
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
-        for q in data_queues + [ctrl]:
-            q.cancel_join_thread()
-            q.close()

@@ -4,16 +4,20 @@ Everything a master and its worker processes exchange is defined here, so
 the protocol is inspectable (and pickle-round-trip testable) in one place:
 
 * **commands** (master -> worker): plain tuples whose first element is one
-  of :data:`CMD_STEP` / :data:`CMD_FINISH` / :data:`CMD_ABORT`;
+  of :data:`CMD_INIT` / :data:`CMD_STEP` / :data:`CMD_COLLECT` /
+  :data:`CMD_SHUTDOWN` / :data:`CMD_ABORT`;
 * **message batches** (worker -> worker): lists of *tagged* messages
-  ``(target, sender_pos, seq, payload)``, pickled into one blob per
-  (source, destination, superstep). The tags reconstruct the serial
-  engine's global send order — ``sender_pos`` is the sender's canonical
-  position in ``graph.vertex_order()`` and ``seq`` a per-worker send
-  counter — so receivers can merge their per-source batches into exactly
-  the inbox the single-process engine would have built;
+  ``(sender_pos, seq, target, payload)``, framed by the transport codec
+  (:mod:`repro.parallel.transport`), one frame per (source, destination,
+  superstep). The tags reconstruct the serial engine's global send order
+  — ``sender_pos`` is the sender's canonical position in
+  ``graph.vertex_order()`` and ``seq`` a per-worker send counter — so
+  receivers can merge their per-source batches into exactly the inbox
+  the single-process engine would have built. The tag comes *first* so
+  merged batches sort with native tuple comparison (``(pos, seq)`` is
+  globally unique, so payloads are never compared);
 * **reports** (worker -> master): :class:`BarrierReport` at every
-  superstep barrier and :class:`FinalReport` on shutdown.
+  superstep barrier and :class:`FinalReport` on :data:`CMD_COLLECT`.
 
 Per-shard checkpoints ride on barrier reports as :class:`ShardCheckpoint`
 payloads; :func:`merge_shard_checkpoints` reassembles them into the flat
@@ -29,12 +33,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.engine.checkpoint import Checkpoint
 from repro.errors import EngineError
 
-#: A tagged in-flight message: (target, sender_pos, seq, payload).
-TaggedMessage = Tuple[Any, int, int, Any]
+#: A tagged in-flight message: (sender_pos, seq, target, payload).
+TaggedMessage = Tuple[int, int, Any, Any]
 
-CMD_STEP = "step"      # ("step", superstep, aggregator_values, checkpoint?)
-CMD_FINISH = "finish"  # ("finish",)
-CMD_ABORT = "abort"    # ("abort",)
+CMD_INIT = "init"          # ("init", program_blob | None, traced, epoch)
+CMD_STEP = "step"          # ("step", superstep, aggregator_values, checkpoint?)
+CMD_COLLECT = "collect"    # ("collect",) -> FinalReport, worker stays warm
+CMD_SHUTDOWN = "shutdown"  # ("shutdown",) -> worker exits cleanly
+CMD_ABORT = "abort"        # ("abort",) -> worker exits immediately
 
 
 @dataclass
@@ -96,10 +102,12 @@ class BarrierReport:
     executed: int = 0            # vertices computed this superstep
     active_after: int = 0        # un-halted vertices after compute
     messages_sent: int = 0
-    messages_combined: int = 0   # receiver-side folds for this superstep
+    messages_combined: int = 0     # receiver-side folds for this superstep
+    messages_precombined: int = 0  # sender-side folds (associative combiners)
     cross_worker_messages: int = 0
     message_bytes: int = 0       # estimated payload bytes (if tracked)
-    network_bytes: int = 0       # measured pickled-blob bytes shipped
+    network_bytes: int = 0       # measured framed bytes shipped
+    wait_seconds: float = 0.0    # time blocked on the transport
     aggregations: List[Tuple[int, int, str, Any]] = field(default_factory=list)
     trace_events: List[Dict[str, Any]] = field(default_factory=list)
     checkpoint: Optional[ShardCheckpoint] = None
@@ -108,7 +116,7 @@ class BarrierReport:
 
 @dataclass
 class FinalReport:
-    """One worker's end-of-run state, shipped on :data:`CMD_FINISH`."""
+    """One worker's end-of-run state, shipped on :data:`CMD_COLLECT`."""
 
     worker_id: int
     values: Dict[Any, Any] = field(default_factory=dict)

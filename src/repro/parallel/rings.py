@@ -1,0 +1,185 @@
+"""Single-producer/single-consumer byte rings over shared memory.
+
+The ring transport gives every ordered worker pair ``(src, dst)`` its own
+byte ring inside one ``multiprocessing.shared_memory`` segment, created by
+the master before the fork and inherited by every worker. A ring is the
+classic SPSC design:
+
+* 64-byte header: ``tail`` (u64, producer write cursor), ``head`` (u64,
+  consumer read cursor), ``poison`` (u8) — cursors are *monotonic* byte
+  counts, so ``tail - head`` is the number of unread bytes and the data
+  position is ``cursor % capacity``;
+* ``capacity`` bytes of data, written and read with at most two
+  ``memcpy``-style slice assignments (wrap-around).
+
+Only the producer writes ``tail`` and only the consumer writes ``head``
+(both as aligned 8-byte stores through ``ctypes``), so no locks are
+needed; readers of the opposite cursor can at worst see a *stale* value,
+which only makes them conservative. ``poison`` is the crash path: a dying
+worker (or the master on abort) sets it so a peer blocked pumping the
+ring raises instead of spinning forever.
+
+Frames larger than the ring stream through it: producers write what fits
+and consumers drain concurrently (see the transport's pump loop), so
+``capacity`` bounds memory, never message size.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+from repro.errors import EngineError
+
+#: Bytes reserved per ring for cursors + poison flag (cache-line sized so
+#: adjacent rings' headers do not false-share).
+HEADER_BYTES = 64
+_OFF_TAIL = 0
+_OFF_HEAD = 8
+_OFF_POISON = 16
+
+
+class Ring:
+    """One directed SPSC byte ring inside a shared buffer.
+
+    Build one instance per process per ring *after* forking — the ctypes
+    cursor views pin the underlying buffer export, and sharing a view
+    object across processes would share nothing useful anyway (the bytes
+    are shared through the mapping, the wrapper is per-process).
+    """
+
+    __slots__ = ("capacity", "_tail", "_head", "_poison", "_data")
+
+    def __init__(self, buf: memoryview, offset: int, capacity: int) -> None:
+        self.capacity = capacity
+        self._tail = ctypes.c_uint64.from_buffer(buf, offset + _OFF_TAIL)
+        self._head = ctypes.c_uint64.from_buffer(buf, offset + _OFF_HEAD)
+        self._poison = ctypes.c_uint8.from_buffer(buf, offset + _OFF_POISON)
+        start = offset + HEADER_BYTES
+        self._data = buf[start:start + capacity]
+
+    # -- producer side -------------------------------------------------
+    def try_write(self, data: memoryview, start: int) -> int:
+        """Write as much of ``data[start:]`` as fits; return bytes written.
+
+        Never blocks: returns 0 when the ring is full.
+        """
+        tail = self._tail.value
+        free = self.capacity - (tail - self._head.value)
+        if not free:
+            return 0
+        n = len(data) - start
+        if n > free:
+            n = free
+        pos = tail % self.capacity
+        first = self.capacity - pos
+        if first >= n:
+            self._data[pos:pos + n] = data[start:start + n]
+        else:
+            self._data[pos:] = data[start:start + first]
+            self._data[:n - first] = data[start + first:start + n]
+        # Publish after the payload bytes: an aligned 8-byte store, and
+        # x86-TSO keeps stores ordered, so a consumer that sees the new
+        # tail sees the data.
+        self._tail.value = tail + n
+        return n
+
+    # -- consumer side -------------------------------------------------
+    def available(self) -> int:
+        return self._tail.value - self._head.value
+
+    def try_read(self, limit: int) -> bytes:
+        """Read up to ``limit`` unread bytes; ``b""`` when empty."""
+        head = self._head.value
+        n = self._tail.value - head
+        if not n:
+            return b""
+        if n > limit:
+            n = limit
+        pos = head % self.capacity
+        first = self.capacity - pos
+        if first >= n:
+            out = bytes(self._data[pos:pos + n])
+        else:
+            out = bytes(self._data[pos:]) + bytes(self._data[:n - first])
+        self._head.value = head + n
+        return out
+
+    # -- crash path ----------------------------------------------------
+    def poison(self) -> None:
+        self._poison.value = 1
+
+    @property
+    def poisoned(self) -> bool:
+        return bool(self._poison.value)
+
+    def close(self) -> None:
+        """Release the buffer exports so the segment can be unmapped."""
+        self._data.release()
+        # ctypes objects hold their own export; drop the references and
+        # point the slots at detached scratch instances.
+        self._tail = ctypes.c_uint64()
+        self._head = ctypes.c_uint64()
+        self._poison = ctypes.c_uint8()
+
+
+class RingBoard:
+    """All per-pair rings of one worker fleet in one shm segment.
+
+    The master creates the board pre-fork; workers inherit the mapping and
+    build :class:`Ring` views lazily for just the pairs they touch. Every
+    process calls :meth:`close`; only the master calls :meth:`unlink`.
+    """
+
+    def __init__(self, num_workers: int, capacity: int) -> None:
+        self.num_workers = num_workers
+        self.capacity = capacity
+        pairs = num_workers * (num_workers - 1)
+        size = max(1, pairs * (HEADER_BYTES + capacity))
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._rings: Dict[Tuple[int, int], Ring] = {}
+        self._closed = False
+
+    def _offset(self, src: int, dst: int) -> int:
+        if src == dst:
+            raise EngineError("no ring from a worker to itself")
+        index = src * (self.num_workers - 1) + (dst if dst < src else dst - 1)
+        return index * (HEADER_BYTES + self.capacity)
+
+    def ring(self, src: int, dst: int) -> Ring:
+        """The (lazily built, per-process) ring carrying src -> dst."""
+        key = (src, dst)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = Ring(self._shm.buf, self._offset(src, dst), self.capacity)
+            self._rings[key] = ring
+        return ring
+
+    def poison_all(self) -> None:
+        """Set every ring's poison flag (master-side abort path)."""
+        for src in range(self.num_workers):
+            for dst in range(self.num_workers):
+                if src != dst:
+                    self.ring(src, dst).poison()
+
+    def poison_from(self, src: int) -> None:
+        """Poison every ring ``src`` produces to (dying-worker path)."""
+        for dst in range(self.num_workers):
+            if dst != src:
+                self.ring(src, dst).poison()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for ring in self._rings.values():
+            ring.close()
+        self._rings.clear()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

@@ -1,29 +1,38 @@
-"""Worker-process side of the multiprocess backend.
+"""Worker-process side of the multiprocess backend, plus the warm pool.
 
 A worker owns one graph shard: the values, halt flags and inbox of its
 vertices. Each superstep it computes the local frontier in canonical
 vertex order, buckets outgoing messages per destination worker, ships one
-pickled batch to every peer, merges the batches it receives back into its
-inbox, and reports counters (plus aggregator contributions, drained trace
-events and optionally a shard checkpoint) to the master.
+transport frame to every peer, merges the batches it receives back into
+its inbox, and reports counters (plus aggregator contributions, drained
+trace events and optionally a shard checkpoint) to the master.
 
 Determinism is the whole design: the serial engine delivers messages in
 global send order (vertices compute in canonical order, sends append), so
-every message is tagged ``(sender_pos, seq)`` and receivers k-way-merge
-their per-source batches on that key — per-worker batches are already
-sorted because each worker iterates its shard in canonical order. Message
-combining is applied *after* the merge, at the receiver, folding in
-exactly the order the serial engine folded at send time (receiver-side
-combining keeps float reductions byte-identical; local pre-combining
-would reorder them). Aggregator contributions are likewise shipped raw
-with their ``(sender_pos, seq)`` tags and folded master-side in global
-order.
+every message is tagged ``(sender_pos, seq)`` and receivers merge their
+per-source batches on that key — the tag leads the tuple, so the merge is
+a native sort over already-sorted runs. Message combining happens at the
+receiver, folding in exactly the order the serial engine folded at send
+time, *except* when the program's combiner declares itself associative
+(min/max): then each cross-worker outbox is pre-folded per target before
+serialization — fewer tuples to encode, ship and merge — which is exact
+because any fold tree of an associative combiner equals the serial left
+fold. Aggregator contributions are shipped raw with their ``(sender_pos,
+seq)`` tags and folded master-side in global order.
+
+:class:`WorkerPool` is the master-side handle keeping forked workers —
+and their shard graphs, routing tables and transport — alive across
+``run()`` calls: re-running ships only a pickled program (``CMD_INIT``)
+instead of re-forking and re-faulting the whole graph. The pool assumes
+the graph is not mutated between runs of the same engine instance; fork
+per run (``EngineConfig.warm_pool = False``) if it is.
 """
 
 from __future__ import annotations
 
-import heapq
+import multiprocessing
 import pickle
+import weakref
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.engine.engine import NO_MESSAGES
@@ -34,24 +43,51 @@ from repro.obs.sinks import InMemorySink
 from repro.obs.trace import (
     NULL_TRACER,
     PHASE_COMPUTE,
+    PHASE_TRANSPORT,
     Tracer,
     get_tracer,
     set_tracer,
 )
 from repro.parallel.messages import (
     CMD_ABORT,
-    CMD_FINISH,
+    CMD_COLLECT,
+    CMD_INIT,
+    CMD_SHUTDOWN,
     CMD_STEP,
     BarrierReport,
     FinalReport,
     ShardCheckpoint,
     TaggedMessage,
 )
+from repro.parallel.transport import create_transport
 from repro.sizemodel import estimate_bytes
 
 
-def _tag_key(message: TaggedMessage) -> Tuple[int, int]:
-    return (message[1], message[2])
+def _precombine(
+    batch: List[TaggedMessage], combine: Any, report: BarrierReport
+) -> List[TaggedMessage]:
+    """Fold an outbox per target before serialization (associative only).
+
+    Keeps the *first* occurrence's ``(pos, seq)`` tag per target, so the
+    combined message merges at exactly the position the serial engine's
+    per-target box sits at, and the output stays sorted (first-occurrence
+    order is send order).
+    """
+    slot: Dict[Any, int] = {}
+    out: List[TaggedMessage] = []
+    for message in batch:
+        target = message[2]
+        index = slot.get(target)
+        if index is None:
+            slot[target] = len(out)
+            out.append(message)
+        else:
+            first = out[index]
+            out[index] = (
+                first[0], first[1], target, combine(first[3], message[3])
+            )
+            report.messages_precombined += 1
+    return out
 
 
 class WorkerAggregators:
@@ -89,7 +125,8 @@ class WorkerAggregators:
 class ShardRuntime:
     """The engine protocol surface (``graph`` / ``aggregators`` /
     ``_send`` / ``_edges_of`` / ...) over one shard, driven by master
-    commands. One instance lives for the whole run of one worker."""
+    commands. One instance lives for one *run* of one worker; the warm
+    pool builds a fresh runtime per ``CMD_INIT``."""
 
     def __init__(
         self,
@@ -100,9 +137,10 @@ class ShardRuntime:
         shard: List[Any],
         worker_of: Dict[Any, int],
         order_of: Dict[Any, int],
-        data_queues: List[Any],
+        endpoint: Any,
         cmd_queue: Any,
         ctrl_queue: Any,
+        epoch: int,
     ) -> None:
         self.worker_id = worker_id
         self.graph = graph
@@ -111,13 +149,11 @@ class ShardRuntime:
         self.shard = shard
         self._worker_of = worker_of
         self._order_of = order_of
-        self._data_queues = data_queues
+        self._endpoint = endpoint
         self._cmd = cmd_queue
         self._ctrl = ctrl_queue
-        self._num_workers = len(data_queues)
-        self._peers = [
-            w for w in range(self._num_workers) if w != worker_id
-        ]
+        self._epoch = epoch
+        self._num_workers = config.num_workers
         self.aggregators = WorkerAggregators(set(program.aggregators()))
         self._combiner = program.combiner() if config.use_combiner else None
         self._track_bytes = config.track_message_bytes
@@ -176,18 +212,23 @@ class ShardRuntime:
         if self._track_bytes:
             report.message_bytes += estimate_bytes(message)
         self._outboxes[worker].append(
-            (target, self._sender_pos, self._seq, message)
+            (self._sender_pos, self._seq, target, message)
         )
         self._seq += 1
 
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
-    def serve(self, traced: bool) -> None:
-        """Process master commands until finish/abort. Never raises: every
-        failure is shipped to the master inside a report."""
-        # A fresh tracer per worker: the master's tracer (and its file
-        # handles) must not be written from a forked process.
+    def serve(self, traced: bool) -> bool:
+        """Process master commands for one run. Never raises: every
+        failure is shipped to the master inside a report (after poisoning
+        our outgoing transport so peers blocked on us unblock too).
+
+        Returns True when the worker should stay warm for another
+        ``CMD_INIT``, False when the process should exit.
+        """
+        # A fresh tracer per worker per run: the master's tracer (and its
+        # file handles) must not be written from a forked process.
         if traced:
             self._sink = InMemorySink()
             set_tracer(Tracer(self._sink))
@@ -203,27 +244,34 @@ class ShardRuntime:
             }
             self._active = set(self.shard)
         except BaseException as exc:  # noqa: BLE001 - shipped to master
+            self._endpoint.poison_outgoing()
             self._ctrl.put(FinalReport(self.worker_id, error=self._wrap(exc)))
-            return
+            return False
         while True:
             command = self._cmd.get()
             kind = command[0]
             if kind == CMD_STEP:
                 report = self._superstep(command[1], command[2], command[3])
-                self._ctrl.put(report)
                 if report.error is not None:
-                    return  # the master aborts the run; nothing more to do
-            elif kind == CMD_FINISH:
-                self._ctrl.put(self._finish())
-                return
-            elif kind == CMD_ABORT:
-                return
+                    # Peers may be blocked pumping our rings for a frame
+                    # that will never come — unblock them before the
+                    # master even notices the error.
+                    self._endpoint.poison_outgoing()
+                    self._ctrl.put(report)
+                    return False
+                self._ctrl.put(report)
+            elif kind == CMD_COLLECT:
+                report = self._finish()
+                self._ctrl.put(report)
+                return report.error is None
+            elif kind in (CMD_ABORT, CMD_SHUTDOWN):
+                return False
             else:  # pragma: no cover - protocol bug
                 self._ctrl.put(FinalReport(
                     self.worker_id,
                     error=EngineError(f"unknown command {kind!r}"),
                 ))
-                return
+                return False
 
     def _superstep(
         self, superstep: int, agg_values: Dict[str, Any], checkpoint: bool
@@ -297,38 +345,39 @@ class ShardRuntime:
         report.active_after = len(active)
 
     def _exchange(self, superstep: int, report: BarrierReport) -> None:
-        """Ship outgoing batches, collect incoming ones, rebuild the inbox
-        in global send order, and apply the combiner receiver-side."""
+        """Ship outgoing batches through the transport, collect incoming
+        ones, rebuild the inbox in global send order, and apply the
+        combiner receiver-side (sender-side for associative combiners)."""
         outboxes = self._outboxes
         self._outboxes = [[] for _ in range(self._num_workers)]
-        for peer in self._peers:
-            blob = pickle.dumps(
-                (superstep, self.worker_id, outboxes[peer]),
-                protocol=pickle.HIGHEST_PROTOCOL,
+        span = None
+        if self._sink is not None:
+            span = get_tracer().span(
+                "exchange", PHASE_TRANSPORT, superstep=superstep
             )
-            report.network_bytes += len(blob)
-            self._data_queues[peer].put(blob)
+        combiner = self._combiner
+        if combiner is not None and combiner.associative:
+            combine = combiner.combine
+            for worker in range(self._num_workers):
+                if worker != self.worker_id and len(outboxes[worker]) > 1:
+                    outboxes[worker] = _precombine(
+                        outboxes[worker], combine, report
+                    )
 
-        batches: List[List[TaggedMessage]] = [outboxes[self.worker_id]]
-        pending = set(self._peers)
-        own_queue = self._data_queues[self.worker_id]
-        while pending:
-            step, src, batch = pickle.loads(own_queue.get())
-            if step != superstep or src not in pending:
-                raise EngineError(
-                    f"worker {self.worker_id}: unexpected batch from "
-                    f"{src} at superstep {step} (expected {superstep})"
-                )
-            pending.discard(src)
-            if batch:
-                batches.append(batch)
+        batches = self._endpoint.exchange(superstep, self._epoch, outboxes,
+                                          report)
+        if len(batches) == 1:
+            merged = batches[0]
+        else:
+            # Concatenated sorted runs: timsort detects them, and the
+            # (pos, seq) prefix is globally unique so payloads are never
+            # compared.
+            merged = [m for batch in batches for m in batch]
+            merged.sort()
 
         inbox: Dict[Any, List[Any]] = {}
-        combiner = self._combiner
         if combiner is None:
-            for target, _pos, _seq, payload in heapq.merge(
-                *batches, key=_tag_key
-            ):
+            for _pos, _seq, target, payload in merged:
                 box = inbox.get(target)
                 if box is None:
                     inbox[target] = [payload]
@@ -336,9 +385,7 @@ class ShardRuntime:
                     box.append(payload)
         else:
             combine = combiner.combine
-            for target, _pos, _seq, payload in heapq.merge(
-                *batches, key=_tag_key
-            ):
+            for _pos, _seq, target, payload in merged:
                 box = inbox.get(target)
                 if box is None:
                     inbox[target] = [payload]
@@ -346,6 +393,12 @@ class ShardRuntime:
                     box[0] = combine(box[0], payload)
                     report.messages_combined += 1
         self._inbox = inbox
+        if span is not None:
+            span.end(
+                network_bytes=report.network_bytes,
+                wait_seconds=report.wait_seconds,
+                messages_precombined=report.messages_precombined,
+            )
 
     def _shard_checkpoint(self, next_superstep: int) -> ShardCheckpoint:
         return ShardCheckpoint(
@@ -401,14 +454,174 @@ def worker_main(
     shard: List[Any],
     worker_of: Dict[Any, int],
     order_of: Dict[Any, int],
-    data_queues: List[Any],
+    transport: Any,
     cmd_queue: Any,
     ctrl_queue: Any,
-    traced: bool,
 ) -> None:
-    """Entry point of a forked worker process."""
-    runtime = ShardRuntime(
-        worker_id, graph, program, config, shard, worker_of, order_of,
-        data_queues, cmd_queue, ctrl_queue,
-    )
-    runtime.serve(traced)
+    """Entry point of a forked worker process: the warm serve loop.
+
+    Each ``CMD_INIT`` starts one run — with the fork-inherited program
+    when the blob is None (first run), otherwise with the shipped pickle
+    — builds a fresh :class:`ShardRuntime`, and serves it to completion.
+    A clean ``CMD_COLLECT`` keeps the process warm for the next init.
+    """
+    endpoint = transport.endpoint(worker_id)
+    try:
+        while True:
+            command = cmd_queue.get()
+            kind = command[0]
+            if kind == CMD_INIT:
+                _, blob, traced, epoch = command
+                try:
+                    prog = program if blob is None else pickle.loads(blob)
+                except BaseException as exc:  # noqa: BLE001 - to master
+                    ctrl_queue.put(FinalReport(
+                        worker_id, error=ShardRuntime._wrap(exc)))
+                    return
+                runtime = ShardRuntime(
+                    worker_id, graph, prog, config, shard, worker_of,
+                    order_of, endpoint, cmd_queue, ctrl_queue, epoch,
+                )
+                if not runtime.serve(traced):
+                    return
+            elif kind in (CMD_ABORT, CMD_SHUTDOWN):
+                return
+            else:  # pragma: no cover - protocol bug
+                ctrl_queue.put(FinalReport(
+                    worker_id,
+                    error=EngineError(f"unknown command {kind!r}"),
+                ))
+                return
+    finally:
+        endpoint.close()
+
+
+# ----------------------------------------------------------------------
+# master-side pool
+# ----------------------------------------------------------------------
+def _reap_pool(
+    procs: List[Any],
+    cmd_queues: List[Any],
+    ctrl: Any,
+    transport: Any,
+    force: bool = False,
+) -> None:
+    """Tear a fleet down. Module-level (not a method) so the pool's
+    ``weakref.finalize`` can call it without resurrecting the pool."""
+    if force:
+        # Workers may be blocked mid-exchange on a peer that already
+        # died; poison the transport so pumps raise instead of spinning,
+        # then kill whatever is left.
+        try:
+            transport.poison()
+        except Exception:  # noqa: BLE001 - already tearing down
+            pass
+    command = (CMD_ABORT,) if force else (CMD_SHUTDOWN,)
+    for cmd_queue in cmd_queues:
+        try:
+            cmd_queue.put(command)
+        except Exception:  # noqa: BLE001 - already tearing down
+            pass
+    if force:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+    for proc in procs:
+        proc.join(timeout=10.0)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for cmd_queue in cmd_queues:
+        try:
+            cmd_queue.close()
+        except Exception:  # noqa: BLE001
+            pass
+    try:
+        ctrl.cancel_join_thread()
+        ctrl.close()
+    except Exception:  # noqa: BLE001
+        pass
+    try:
+        transport.close()
+        transport.unlink()
+    except Exception:  # noqa: BLE001
+        pass
+
+
+class WorkerPool:
+    """A persistent fleet of forked workers plus their transport.
+
+    Forking is the expensive part of a parallel run (the whole graph and
+    routing tables fault into every child); the pool pays it once and
+    re-initializes workers per run with ``CMD_INIT``. The first run uses
+    the fork-inherited program (so unpicklable programs — closures,
+    provenance wrappers holding UDF registries — work exactly as before);
+    later runs ship ``pickle.dumps(program)``, and the engine falls back
+    to a fresh fork when that fails.
+
+    A ``weakref.finalize`` holding only the raw process/queue/transport
+    handles guarantees the fleet is reaped when the owning engine is
+    garbage collected, even without an explicit ``close()``.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        config: Any,
+        shards: List[List[Any]],
+        worker_of: Dict[Any, int],
+        order_of: Dict[Any, int],
+        program: Any,
+    ) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.config = config
+        self.num_workers = config.num_workers
+        self.transport = create_transport(config, ctx)
+        self.cmd_queues = [
+            ctx.SimpleQueue() for _ in range(self.num_workers)
+        ]
+        self.ctrl: Any = ctx.Queue()
+        self.epoch = 0
+        self._fresh_program = program
+        self.procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    wid, graph, program, config, shards[wid], worker_of,
+                    order_of, self.transport, self.cmd_queues[wid],
+                    self.ctrl,
+                ),
+                daemon=True,
+                name=f"repro-worker-{wid}",
+            )
+            for wid in range(self.num_workers)
+        ]
+        for proc in self.procs:
+            proc.start()
+        self._finalizer = weakref.finalize(
+            self, _reap_pool, self.procs, self.cmd_queues, self.ctrl,
+            self.transport,
+        )
+
+    @property
+    def alive(self) -> bool:
+        return all(proc.is_alive() for proc in self.procs)
+
+    def init_run(self, blob: Optional[bytes], traced: bool) -> int:
+        """Broadcast ``CMD_INIT`` for a new run; returns its epoch tag."""
+        self.epoch += 1
+        self.broadcast((CMD_INIT, blob, traced, self.epoch))
+        return self.epoch
+
+    def broadcast(self, command: Any) -> None:
+        for cmd_queue in self.cmd_queues:
+            cmd_queue.put(command)
+
+    def shutdown(self, force: bool) -> None:
+        if self._finalizer.detach() is None:
+            return  # already reaped
+        _reap_pool(
+            self.procs, self.cmd_queues, self.ctrl, self.transport,
+            force=force,
+        )

@@ -240,12 +240,21 @@ class TestParallelBackendFlags:
             "--backend", "parallel", "--num-workers", "2",
         ]) == 0
         parallel = capsys.readouterr().out
-        assert "backend:     parallel (2 workers, hash partitioning)" \
-            in parallel
+        assert ("backend:     parallel (2 workers, hash partitioning, "
+                "ring transport)") in parallel
         # everything except the backend/wall lines is byte-identical
         strip = lambda out: [l for l in out.splitlines()
                              if not l.startswith(("backend:", "wall:"))]
         assert strip(parallel) == strip(serial)
+
+    def test_transport_flag(self, graph_file, capsys):
+        assert main([
+            "run", "--analytic", "sssp", "--graph", graph_file,
+            "--backend", "parallel", "--num-workers", "2",
+            "--transport", "queue",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "queue transport" in out
 
     def test_apt_parallel(self, graph_file, capsys):
         assert main([
@@ -269,6 +278,7 @@ class TestParallelBackendFlags:
         configs = [e for e in events if e.get("name") == "run-config"]
         assert configs and configs[0]["attrs"] == {
             "backend": "parallel", "num_workers": 2, "partitioner": "hash",
+            "transport": "ring",
         }
         # worker-side compute spans were merged into the master trace
         workers = {e["attrs"]["worker"] for e in events
