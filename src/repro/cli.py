@@ -9,12 +9,23 @@ Subcommands mirror the Ariadne workflows:
 * ``query``    — evaluate a query offline (layered/naive) over a sealed store;
 * ``inspect``  — print a vertex's provenance history from a sealed store;
 * ``stats``    — summarize (or convert/validate) a trace file;
+* ``audit``    — list/show/verify/diff run-ledger records;
+* ``compare``  — metric/wall-time deltas between two ledger records;
 * ``datasets`` — list the Table 2 dataset registry.
 
 Every workload command accepts ``--trace OUT`` to record a span trace of
-the run (``--trace-format`` picks JSONL, Chrome ``trace_event`` JSON, or a
-Prometheus text dump), plus ``-v``/``--quiet`` to control the ``repro``
-logger hierarchy.
+the run (``--trace-format`` picks JSONL, Chrome ``trace_event`` JSON,
+OTLP-JSON, or a Prometheus text dump), plus ``-v``/``--quiet`` to control
+the ``repro`` logger hierarchy.
+
+Every workload invocation gets a content-derived run id. ``capture`` and
+``query`` always append an audit record to the run ledger in the store
+directory (``<store>/ledger.jsonl``); ``run``/``monitor``/``apt`` record
+only when ``--ledger DIR`` (or ``$REPRO_LEDGER``) names a ledger. A query
+record carries a parent link to the capture run that sealed its store
+(read back from the store manifest), so ``repro audit list`` shows the
+full capture→query chain and ``repro audit verify`` can recompute every
+digest the chain claims.
 
 Examples::
 
@@ -32,6 +43,7 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -51,17 +63,23 @@ from repro.obs import (
     JsonlSink,
     Tracer,
     configure_logging,
+    get_logger,
     get_registry,
     read_trace,
     render_summary,
     set_tracer,
     summarize,
     to_chrome_trace,
+    to_otlp_json,
     trace_to_prometheus,
     validate_events,
+    validate_otlp,
 )
+from repro.obs import ledger as obsledger
 from repro.provenance.spill import SpillManager, rebuild_store
 from repro.runtime.offline import run_layered, run_naive
+
+logger = get_logger("cli")
 
 NAMED_QUERIES: Dict[str, str] = {
     "query1": Q.APT_QUERY,
@@ -81,7 +99,7 @@ NAMED_QUERIES: Dict[str, str] = {
     "query12": Q.BACKWARD_LINEAGE_CUSTOM_QUERY,
 }
 
-TRACE_FORMATS = ("jsonl", "chrome", "prom")
+TRACE_FORMATS = ("jsonl", "chrome", "prom", "otel")
 
 
 def _parse_param(text: str) -> Any:
@@ -175,7 +193,9 @@ def _start_trace(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
     if not path:
         return None
     fmt = getattr(args, "trace_format", "jsonl") or "jsonl"
-    sink = JsonlSink(path) if fmt == "jsonl" else InMemorySink()
+    run_id = getattr(args, "run_id", None)
+    sink = JsonlSink(path, run_id=run_id) if fmt == "jsonl" \
+        else InMemorySink()
     tracer = Tracer(sink, registry=get_registry())
     set_tracer(tracer)
     backend = getattr(args, "backend", None)
@@ -189,7 +209,8 @@ def _start_trace(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
             partitioner=getattr(args, "partitioner", "hash"),
             transport=getattr(args, "transport", None) or "ring",
         )
-    return {"tracer": tracer, "sink": sink, "fmt": fmt, "path": path}
+    return {"tracer": tracer, "sink": sink, "fmt": fmt, "path": path,
+            "run_id": run_id}
 
 
 def _finish_trace(ctx: Optional[Dict[str, Any]]) -> None:
@@ -202,10 +223,116 @@ def _finish_trace(ctx: Optional[Dict[str, Any]]) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(to_chrome_trace(ctx["sink"].events), fh, indent=1,
                       sort_keys=True)
+    elif fmt == "otel":
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                to_otlp_json(ctx["sink"].events, run_id=ctx["run_id"]),
+                fh, indent=1, sort_keys=True,
+            )
     elif fmt == "prom":
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(get_registry().to_prometheus())
     print(f"trace ({fmt}) written to {path}", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# run-ledger lifecycle
+# ---------------------------------------------------------------------------
+def _prepare_run_id(args: argparse.Namespace) -> None:
+    """Derive the invocation's content-based run id before any work runs,
+    so the trace meta line and the store manifest can both carry it."""
+    content = {
+        key: value for key, value in sorted(vars(args).items())
+        if key != "fn" and not callable(value)
+    }
+    args.run_id = obsledger.new_run_id(
+        getattr(args, "command", "?") or "?", content
+    )
+
+
+def _ledger_dir(args: argparse.Namespace,
+                default: Optional[str] = None) -> Optional[str]:
+    """Resolve which ledger this invocation writes/reads: the ``--ledger``
+    flag, then ``$REPRO_LEDGER``, then the command's default (the store
+    directory for capture/query, nothing for pure compute commands)."""
+    explicit = getattr(args, "ledger", None)
+    if explicit:
+        return explicit
+    env = os.environ.get("REPRO_LEDGER")
+    if env:
+        return env
+    return default
+
+
+def _trace_pointer(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    return {
+        "path": os.path.abspath(path),
+        "format": getattr(args, "trace_format", "jsonl") or "jsonl",
+    }
+
+
+def _worker_stamp(config: "EngineConfig") -> Optional[Dict[str, Any]]:
+    if config.backend != "parallel":
+        return None
+    from repro.parallel.engine import last_worker_stamp
+
+    return last_worker_stamp()
+
+
+def _append_run_record(
+    args: argparse.Namespace,
+    command: str,
+    *,
+    default_dir: Optional[str] = None,
+    config: Optional["EngineConfig"] = None,
+    graph: Optional[DiGraph] = None,
+    analytic: Optional[str] = None,
+    query: Optional[str] = None,
+    results: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    wall_seconds: Optional[float] = None,
+    parent_run_id: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """Append this invocation's audit record; no-op when no ledger
+    resolves (run/monitor/apt without ``--ledger``)."""
+    directory = _ledger_dir(args, default_dir)
+    if not directory:
+        return None
+    dataset = None
+    if graph is not None:
+        source = getattr(args, "graph", None) or getattr(args, "dataset", None)
+        dataset = obsledger.dataset_fingerprint(graph, source=source)
+    record = obsledger.make_record(
+        command,
+        run_id=args.run_id,
+        parent_run_id=parent_run_id,
+        config=config,
+        dataset=dataset,
+        analytic=analytic,
+        query=query,
+        results=results,
+        metrics=metrics,
+        wall_seconds=wall_seconds,
+        registry=get_registry(),
+        trace=_trace_pointer(args),
+        workers=_worker_stamp(config) if config is not None else None,
+    )
+    return obsledger.RunLedger(directory).append(record)
+
+
+def _open_ledger(args: argparse.Namespace) -> obsledger.RunLedger:
+    """The ledger an audit/compare command reads: ``--ledger``, then
+    ``$REPRO_LEDGER``, then the ``--store`` directory."""
+    directory = _ledger_dir(args, getattr(args, "store", None))
+    if not directory:
+        raise ReproError(
+            "no ledger to read: pass --ledger DIR or --store DIR "
+            "(or set $REPRO_LEDGER)"
+        )
+    return obsledger.RunLedger(directory)
 
 
 # ---------------------------------------------------------------------------
@@ -229,26 +356,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"messages:    {result.metrics.total_messages}")
     print(_metrics_line(result.metrics))
     print(f"wall:        {elapsed:.3f}s")
+    _append_run_record(
+        args, "run",
+        config=config, graph=graph, analytic=ariadne.analytic.name,
+        results={
+            "values_sha256": obsledger.digest_values(result.values),
+            "supersteps": result.num_supersteps,
+            "halt_reason": result.halt_reason,
+        },
+        metrics=result.metrics.summary(),
+        wall_seconds=elapsed,
+    )
     return 0
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
-    result = ariadne.query_online(_query_text(args), params=_params(args.param))
+    config = _engine_config(args)
+    ariadne = Ariadne(graph, _make_analytic(args), config)
+    query_text = _query_text(args)
+    result = ariadne.query_online(query_text, params=_params(args.param))
     print(f"online run: {result.analytic.num_supersteps} supersteps, "
           f"{result.query.wall_seconds:.3f}s")
     print(_metrics_line(result.analytic.metrics))
     _print_query_result(result.query)
+    _append_run_record(
+        args, "monitor",
+        config=config, graph=graph, analytic=ariadne.analytic.name,
+        query=query_text,
+        results={
+            "values_sha256": obsledger.digest_values(result.analytic.values),
+            "supersteps": result.analytic.num_supersteps,
+            "halt_reason": result.analytic.halt_reason,
+            "query_sha256": obsledger.digest_query_result(result.query),
+            "derivations": result.query.derivations,
+        },
+        metrics=result.analytic.metrics.summary(),
+        wall_seconds=result.query.wall_seconds,
+    )
     return 0
 
 
 def cmd_apt(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
+    config = _engine_config(args)
+    ariadne = Ariadne(graph, _make_analytic(args), config)
     result = ariadne.apt(epsilon=args.eps)
     safe = result.query.count("safe")
     unsafe = result.query.count("unsafe")
+    _append_run_record(
+        args, "apt",
+        config=config, graph=graph, analytic=ariadne.analytic.name,
+        results={
+            "values_sha256": obsledger.digest_values(result.analytic.values),
+            "supersteps": result.analytic.num_supersteps,
+            "halt_reason": result.analytic.halt_reason,
+            "query_sha256": obsledger.digest_query_result(result.query),
+            "safe": safe, "unsafe": unsafe, "eps": args.eps,
+        },
+        metrics=result.analytic.metrics.summary(),
+        wall_seconds=result.query.wall_seconds,
+    )
     print(f"apt verdict at eps={args.eps}: safe={safe} unsafe={unsafe}")
     if unsafe == 0 and safe:
         print("-> approximation looks SAFE; rerun the analytic with "
@@ -262,7 +430,8 @@ def cmd_apt(args: argparse.Namespace) -> int:
 
 def cmd_capture(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    ariadne = Ariadne(graph, _make_analytic(args), _engine_config(args))
+    config = _engine_config(args)
+    ariadne = Ariadne(graph, _make_analytic(args), config)
     query = _query_text(args) if (args.query or args.query_file) else (
         Q.CAPTURE_FULL_QUERY
     )
@@ -274,12 +443,35 @@ def cmd_capture(args: argparse.Namespace) -> int:
     )
     store = result.store
     spill = result.spill
+    # Stamp this run's id before sealing so the manifest names the run
+    # that produced the store — a later `repro query` reads it back as
+    # its ledger parent link.
+    spill.run_id = args.run_id
     bytes_sealed = spill.seal_all()
     print(f"captured {store.num_rows} facts over {store.num_layers} layers")
     for relation, count in sorted(store.counts().items()):
         print(f"  {relation}: {count}")
     print(f"sealed {bytes_sealed} bytes to {spill.directory} "
           f"({spill.compression}, {'async' if spill.async_writes else 'sync'})")
+    store_info = obsledger.store_fingerprint(spill)
+    store_info["rows"] = store.num_rows
+    store_info["layers"] = store.num_layers
+    _append_run_record(
+        args, "capture",
+        default_dir=args.out,
+        config=config, graph=graph, analytic=ariadne.analytic.name,
+        query=query,
+        results={
+            "values_sha256": obsledger.digest_values(result.analytic.values),
+            "supersteps": result.analytic.num_supersteps,
+            "halt_reason": result.analytic.halt_reason,
+            "query_sha256": obsledger.digest_query_result(result.query),
+            "derivations": result.query.derivations,
+            "store": store_info,
+        },
+        metrics=result.analytic.metrics.summary(),
+        wall_seconds=result.query.wall_seconds,
+    )
     return 0
 
 
@@ -318,15 +510,32 @@ def cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args) if (args.graph or args.dataset) else None
     params = _params(args.param)
     use_index = not getattr(args, "no_index", False)
+    query_text = _query_text(args)
     if args.mode == "layered":
-        result = run_layered(store, _query_text(args), graph, params,
+        result = run_layered(store, query_text, graph, params,
                              use_index=use_index)
     else:
-        result = run_naive(store, _query_text(args), graph, params,
+        result = run_naive(store, query_text, graph, params,
                            use_index=use_index)
     print(f"{args.mode} evaluation: {result.wall_seconds:.3f}s, "
           f"{result.derivations} derivations")
     _print_query_result(result)
+    _append_run_record(
+        args, "query",
+        default_dir=args.store,
+        config=_engine_config(args), graph=graph,
+        query=query_text,
+        # the store's manifest names the capture run that sealed it — the
+        # ledger parent link tying this query to its provenance
+        parent_run_id=spill.run_id,
+        results={
+            "query_sha256": obsledger.digest_query_result(result),
+            "derivations": result.derivations,
+            "mode": args.mode,
+            "store": {"directory": os.path.abspath(args.store)},
+        },
+        wall_seconds=result.wall_seconds,
+    )
     if args.show:
         for relation in args.show:
             for row in result.rows(relation)[: args.limit]:
@@ -341,8 +550,13 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_inspect(args: argparse.Namespace) -> int:
     from repro.provenance import inspect as pinspect
 
+    logger.info("inspect: opening sealed store %s", args.store)
     spill = SpillManager.open(args.store)
     store = rebuild_store(spill)
+    logger.debug(
+        "inspect: rebuilt %d rows across %d layers (sealing run %s)",
+        store.num_rows, store.num_layers, spill.run_id or "unknown",
+    )
     if args.vertex is None:
         print(pinspect.summarize(store))
     else:
@@ -354,8 +568,11 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 def cmd_export(args: argparse.Namespace) -> int:
     from repro.provenance.export import export_path
 
+    logger.info("export: opening sealed store %s", args.store)
     spill = SpillManager.open(args.store)
     store = rebuild_store(spill)
+    logger.debug("export: rebuilt %d rows, writing %s",
+                 store.num_rows, args.out)
     written = export_path(store, args.out)
     print(f"exported {written} facts to {args.out}")
     return 0
@@ -367,19 +584,43 @@ def cmd_explain(args: argparse.Namespace) -> int:
     from repro.pql.parser import parse
     from repro.pql.udf import FunctionRegistry
 
-    program = parse(_query_text(args))
+    text = _query_text(args)
+    logger.info("explain: compiling %d-char query", len(text))
+    program = parse(text)
     params = _params(args.param)
     if params:
         program = program.bind(**params)
     funcs = FunctionRegistry({"udf_diff": lambda a, b, e: abs(a - b) < e})
     compiled = compile_query(program, functions=funcs)
+    logger.debug("explain: %d rules in %d strata",
+                 len(compiled.rules), len(compiled.strata))
     print(explain(compiled, verbose=args.verbose))
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    logger.info("stats: reading trace %s", args.trace_file)
     events = read_trace(args.trace_file)
-    if args.validate:
+    logger.debug("stats: %d events, format=%s", len(events), args.format)
+    if args.format == "otel":
+        # --validate composes: convert, then structurally check the OTLP
+        # document (the CI one-liner for the smoke trace's OTel export).
+        otlp = to_otlp_json(events)
+        if args.validate:
+            problems = validate_otlp(otlp)
+            if problems:
+                for problem in problems:
+                    print(f"invalid: {problem}", file=sys.stderr)
+                return 1
+            spans = sum(
+                len(ss.get("spans", []))
+                for rs in otlp["resourceSpans"]
+                for ss in rs.get("scopeSpans", [])
+            )
+            print(f"otel trace OK ({spans} spans)")
+            return 0
+        text = json.dumps(otlp, indent=1, sort_keys=True)
+    elif args.validate:
         problems = validate_events(events)
         if problems:
             for problem in problems:
@@ -387,7 +628,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             return 1
         print(f"trace OK ({len(events)} events)")
         return 0
-    if args.format == "chrome":
+    elif args.format == "chrome":
         text = json.dumps(to_chrome_trace(events), indent=1, sort_keys=True)
     elif args.format == "prom":
         text = trace_to_prometheus(events)
@@ -400,6 +641,126 @@ def cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# audit + compare
+# ---------------------------------------------------------------------------
+def cmd_audit_list(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    records = ledger.records()
+    if not records:
+        print(f"ledger {ledger.path}: no records")
+        return 0
+    print(f"{'run id':18} {'command':10} {'parent':18} "
+          f"{'analytic':16} {'wall':>9}  started")
+    for record in records:
+        wall = record.get("wall_seconds")
+        print(
+            f"{record.get('run_id', '?'):18} "
+            f"{record.get('command', '?'):10} "
+            f"{record.get('parent_run_id') or '-':18} "
+            f"{(record.get('analytic') or '-')[:16]:16} "
+            f"{(f'{wall:.3f}s' if wall is not None else '-'):>9}  "
+            f"{record.get('started_at', '-')}"
+        )
+    return 0
+
+
+def cmd_audit_show(args: argparse.Namespace) -> int:
+    record = _open_ledger(args).resolve(args.run)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_audit_verify(args: argparse.Namespace) -> int:
+    """Recompute digests against the manifest (and the ledger record, when
+    one resolves) and report drift; exit 1 on any problem."""
+    store_dir = getattr(args, "store", None)
+    ledger_path = _ledger_dir(args, store_dir)
+    record = None
+    if ledger_path:
+        ledger = obsledger.RunLedger(ledger_path)
+        if getattr(args, "run", None):
+            record = ledger.resolve(args.run)
+        else:
+            # no explicit run: verify what the store manifest names, else
+            # the newest record in the ledger
+            from repro.provenance.spill import read_manifest
+
+            manifest = read_manifest(store_dir) if store_dir else None
+            sealed_by = manifest.get("run_id") if manifest else None
+            if sealed_by:
+                try:
+                    record = ledger.get(sealed_by)
+                except ReproError:
+                    record = None
+            if record is None:
+                record = ledger.latest()
+    if record is not None:
+        problems = obsledger.verify_record(
+            record, ledger, store_directory=store_dir
+        )
+        subject = (f"run {record['run_id']} ({record.get('command', '?')}) "
+                   f"against {ledger.path}")
+    elif store_dir:
+        problems, _ = obsledger.verify_store(store_dir)
+        subject = f"store {store_dir} (manifest only; no ledger record)"
+    else:
+        raise ReproError("nothing to verify: pass --store DIR and/or "
+                         "--ledger DIR [RUN]")
+    if problems:
+        print(f"audit verify FAILED: {subject}", file=sys.stderr)
+        for problem in problems:
+            print(f"  drift: {problem}", file=sys.stderr)
+        return 1
+    print(f"audit verify OK: {subject}")
+    return 0
+
+
+def _flatten(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts to dotted paths for record diffing."""
+    flat: Dict[str, Any] = {}
+    if isinstance(value, dict) and value:
+        for key, sub in value.items():
+            flat.update(_flatten(sub, f"{prefix}{key}."))
+    else:
+        flat[prefix[:-1]] = value
+    return flat
+
+
+def cmd_audit_diff(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    a, b = ledger.resolve(args.run_a), ledger.resolve(args.run_b)
+    skip = ("run_id", "started_at", "recorded_at", "environment.pid",
+            "registry", "wall_seconds", "metrics.wall_seconds")
+    flat_a = {k: v for k, v in _flatten(a).items()
+              if not k.startswith(skip)}
+    flat_b = {k: v for k, v in _flatten(b).items()
+              if not k.startswith(skip)}
+    differences = 0
+    for key in sorted(set(flat_a) | set(flat_b)):
+        va, vb = flat_a.get(key, "<absent>"), flat_b.get(key, "<absent>")
+        if va != vb:
+            differences += 1
+            print(f"  {key}: {va!r} -> {vb!r}")
+    if differences:
+        print(f"{differences} field(s) differ between "
+              f"{a['run_id']} and {b['run_id']}")
+    else:
+        print(f"{a['run_id']} and {b['run_id']} are identical "
+              "(modulo timing and identity fields)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args)
+    comparison = obsledger.compare_records(
+        ledger.resolve(args.run_a), ledger.resolve(args.run_b),
+        threshold=args.threshold,
+    )
+    print(obsledger.render_comparison(comparison))
+    return 1 if comparison["regressed"] else 0
 
 
 def cmd_datasets(_args: argparse.Namespace) -> int:
@@ -454,6 +815,10 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         default="zlib",
                         help="slab codec for sealed provenance layers "
                              "(default: zlib)")
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="append this run's audit record to the ledger "
+                             "in DIR (default: $REPRO_LEDGER; capture/query "
+                             "default to their store directory)")
 
 
 def _add_query_args(parser: argparse.ArgumentParser) -> None:
@@ -551,12 +916,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="summarize or convert a trace file",
                        parents=[obs])
     p.add_argument("trace_file", help="JSONL trace written by --trace")
-    p.add_argument("--format", choices=("text", "chrome", "prom"),
+    p.add_argument("--format", choices=("text", "chrome", "prom", "otel"),
                    default="text", help="output format (default: text)")
     p.add_argument("--out", help="write to a file instead of stdout")
     p.add_argument("--validate", action="store_true",
-                   help="check the trace against the event schema and exit")
+                   help="check the trace against the event schema and exit "
+                        "(with --format otel: validate the OTLP document)")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("audit", help="run-ledger audit trail")
+    audit_sub = p.add_subparsers(dest="audit_command", required=True)
+
+    pa = audit_sub.add_parser("list", help="list ledger records",
+                              parents=[obs])
+    _add_ledger_ref_args(pa)
+    pa.set_defaults(fn=cmd_audit_list)
+
+    pa = audit_sub.add_parser("show", help="print one record as JSON",
+                              parents=[obs])
+    _add_ledger_ref_args(pa)
+    pa.add_argument("run", help="run id, unambiguous prefix, 'latest', or "
+                                "'latest:<command>'")
+    pa.set_defaults(fn=cmd_audit_show)
+
+    pa = audit_sub.add_parser(
+        "verify",
+        help="recompute store/result digests and report drift",
+        parents=[obs],
+    )
+    _add_ledger_ref_args(pa)
+    pa.add_argument("run", nargs="?",
+                    help="record to verify (default: the run the store "
+                         "manifest names, else the newest record)")
+    pa.set_defaults(fn=cmd_audit_verify)
+
+    pa = audit_sub.add_parser("diff", help="field-level diff of two records",
+                              parents=[obs])
+    _add_ledger_ref_args(pa)
+    pa.add_argument("run_a")
+    pa.add_argument("run_b")
+    pa.set_defaults(fn=cmd_audit_diff)
+
+    p = sub.add_parser(
+        "compare",
+        help="metric/wall-time deltas between two ledger records",
+        parents=[obs],
+    )
+    _add_ledger_ref_args(p)
+    p.add_argument("run_a", help="reference run (id, prefix, or latest[:cmd])")
+    p.add_argument("run_b", help="candidate run")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="wall-time regression threshold as a fraction "
+                        "(default: 0.10); exceeding it exits 1")
+    p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("datasets", help="list the Table 2 registry",
                        parents=[obs])
@@ -565,11 +977,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_ledger_ref_args(parser: argparse.ArgumentParser) -> None:
+    """Where an audit/compare command finds its ledger."""
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="ledger directory (default: $REPRO_LEDGER, "
+                             "then --store)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="sealed store directory (its ledger.jsonl and "
+                             "manifest.json)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(getattr(args, "verbosity", 0),
                       quiet=getattr(args, "quiet", False))
+    _prepare_run_id(args)
     trace_ctx = _start_trace(args)
     try:
         return args.fn(args)

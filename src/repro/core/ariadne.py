@@ -62,7 +62,45 @@ class Ariadne:
     def baseline(self, max_supersteps: Optional[int] = None) -> RunResult:
         """Run the unmodified analytic (the Giraph bar in every figure)."""
         engine = make_engine(self.graph, config=self.config)
-        return engine.run(self.analytic.make_program(), max_supersteps)
+        result = engine.run(self.analytic.make_program(), max_supersteps)
+        if self.config.ledger_dir:
+            self._record_run("baseline", results={
+                "values_sha256": self._ledger().digest_values(result.values),
+                "supersteps": result.num_supersteps,
+                "halt_reason": result.halt_reason,
+            }, metrics=result.metrics.summary(),
+                wall_seconds=result.metrics.wall_seconds)
+        return result
+
+    # ------------------------------------------------------------------
+    # run-ledger opt-in (EngineConfig.ledger_dir)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ledger():
+        from repro.obs import ledger as obsledger
+
+        return obsledger
+
+    def _record_run(self, command: str, **fields: Any) -> None:
+        """Append one audit record for this facade's graph/analytic/config
+        (online/capture runs are recorded inside ``run_online`` instead,
+        which sees the spill store)."""
+        obsledger = self._ledger()
+        workers = None
+        if self.config.backend == "parallel":
+            from repro.parallel.engine import last_worker_stamp
+
+            workers = last_worker_stamp()
+        obsledger.RunLedger(self.config.ledger_dir).append(
+            obsledger.make_record(
+                command,
+                config=self.config,
+                dataset=obsledger.dataset_fingerprint(self.graph),
+                analytic=self.analytic.name,
+                workers=workers,
+                **fields,
+            )
+        )
 
     def query_online(
         self,
@@ -129,15 +167,28 @@ class Ariadne:
         """
         merged = self._udfs(udfs)
         if mode == "layered":
-            return run_layered(store, query, self.graph, params, merged)
-        if mode == "naive":
-            return run_naive(
+            result = run_layered(store, query, self.graph, params, merged)
+        elif mode == "naive":
+            result = run_naive(
                 store, query, self.graph, params, merged,
                 memory_budget_bytes=memory_budget_bytes,
             )
-        if mode == "reference":
-            return run_reference(store, query, self.graph, params, merged)
-        raise ReproError(f"unknown offline mode {mode!r}")
+        elif mode == "reference":
+            result = run_reference(store, query, self.graph, params, merged)
+        else:
+            raise ReproError(f"unknown offline mode {mode!r}")
+        if self.config.ledger_dir:
+            obsledger = self._ledger()
+            self._record_run(
+                "offline-query",
+                query=query if isinstance(query, str) else None,
+                results={
+                    "query_sha256": obsledger.digest_query_result(result),
+                    "derivations": result.derivations,
+                },
+                wall_seconds=result.wall_seconds,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # paper workflows

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import EngineError
 
@@ -77,6 +78,13 @@ class EngineConfig:
             (default) or ``"raw"`` (uncompressed frames). Rebuilt stores
             are identical under both; the CLI switch is
             ``--spill-compression``.
+        ledger_dir: directory of an append-only run ledger
+            (``repro.obs.ledger``). When set, library entry points
+            (:meth:`Ariadne.baseline`, :func:`run_online`,
+            :meth:`Ariadne.query_offline`) append an audit record per run
+            — config, environment fingerprint, dataset hash, result
+            digests — exactly like the CLI's ``--ledger`` flag. ``None``
+            (default) records nothing.
     """
 
     num_workers: int = 4
@@ -94,6 +102,7 @@ class EngineConfig:
     query_index: bool = True
     spill_async: bool = True
     spill_compression: str = "zlib"
+    ledger_dir: Optional[str] = None
 
     def validate(self) -> None:
         if self.num_workers < 1:

@@ -10,7 +10,10 @@ Three cooperating pieces:
 * :mod:`repro.obs.sinks` — in-memory, JSONL, Chrome ``trace_event`` and
   Prometheus outputs, plus the JSONL event-schema validator;
 * :mod:`repro.obs.stats` — per-phase aggregation behind ``repro stats``;
-* :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy.
+* :mod:`repro.obs.log` — the ``repro`` stdlib-logging hierarchy;
+* :mod:`repro.obs.ledger` — append-only run ledger + audit verification
+  behind ``repro audit`` / ``repro compare``;
+* :mod:`repro.obs.otel` — OTLP-JSON span export (``--trace-format otel``).
 
 Typical use::
 
@@ -22,8 +25,19 @@ Typical use::
         tracer.close()
 """
 
+from repro.obs.ledger import (
+    RunLedger,
+    compare_records,
+    environment_fingerprint,
+    make_record,
+    new_run_id,
+    render_comparison,
+    verify_record,
+    verify_store,
+)
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
+from repro.obs.otel import from_otlp_json, to_otlp_json, validate_otlp
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     SECONDS_BUCKETS,
@@ -63,6 +77,17 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "RunLedger",
+    "compare_records",
+    "environment_fingerprint",
+    "make_record",
+    "new_run_id",
+    "render_comparison",
+    "verify_record",
+    "verify_store",
+    "from_otlp_json",
+    "to_otlp_json",
+    "validate_otlp",
     "configure_logging",
     "get_logger",
     "BYTES_BUCKETS",

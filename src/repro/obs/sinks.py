@@ -11,14 +11,19 @@ A sink receives finished span/instant events as plain dicts from a
   :func:`trace_to_prometheus` folds a trace's spans into a fresh metrics
   registry and renders the Prometheus text format.
 
-Event schema (version 1)::
+Event schema (version 2)::
 
-    {"type": "meta",    "schema": 1, "clock": "perf_counter_ns",
-     "unit": "us", "program": "repro"}
+    {"type": "meta",    "schema": 2, "clock": "perf_counter_ns",
+     "unit": "us", "program": "repro", "run_id": str|null}
     {"type": "span",    "name": str, "cat": str, "id": int,
      "parent": int|null, "ts": int (us), "dur": int (us), "attrs": {...}}
     {"type": "instant", "name": str, "cat": str, "ts": int (us),
      "attrs": {...}}
+
+Version 2 only adds the optional ``run_id`` meta field linking a trace
+to its run-ledger record (``repro.obs.ledger``); span/instant events are
+unchanged, so :func:`validate_events` accepts both versions in
+:data:`SUPPORTED_SCHEMAS` and rejects anything else.
 
 ``ts`` is microseconds on the monotonic clock (``time.perf_counter_ns``),
 the unit Chrome's trace viewer expects; it is meaningful only relative to
@@ -34,7 +39,11 @@ from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
 from repro.errors import ReproError
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`validate_events` accepts: v1 traces (no run id) are
+#: still readable by every consumer in this package.
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Keys required per event type (value: required keys -> type check).
 _REQUIRED: Dict[str, Dict[str, tuple]] = {
@@ -49,13 +58,14 @@ _REQUIRED: Dict[str, Dict[str, tuple]] = {
 }
 
 
-def meta_event() -> Dict[str, Any]:
+def meta_event(run_id: Optional[str] = None) -> Dict[str, Any]:
     return {
         "type": "meta",
         "schema": SCHEMA_VERSION,
         "clock": "perf_counter_ns",
         "unit": "us",
         "program": "repro",
+        "run_id": run_id,
     }
 
 
@@ -78,7 +88,8 @@ class InMemorySink:
 class JsonlSink:
     """Appends one JSON object per line to a file (or file-like object)."""
 
-    def __init__(self, path_or_file: Union[str, IO[str]]) -> None:
+    def __init__(self, path_or_file: Union[str, IO[str]],
+                 run_id: Optional[str] = None) -> None:
         if isinstance(path_or_file, str):
             self._fh: IO[str] = open(path_or_file, "w", encoding="utf-8")
             self._own = True
@@ -87,7 +98,8 @@ class JsonlSink:
             self._fh = path_or_file
             self._own = False
             self.path = getattr(path_or_file, "name", None)
-        self.emit(meta_event())
+        self.run_id = run_id
+        self.emit(meta_event(run_id))
 
     def emit(self, event: Dict[str, Any]) -> None:
         self._fh.write(json.dumps(event, sort_keys=True, default=repr))
@@ -147,10 +159,12 @@ def validate_events(events: Iterable[Dict[str, Any]]) -> List[str]:
             if seen_meta:
                 problems.append(f"{where}: duplicate meta event")
             seen_meta = True
-            if event.get("schema") != SCHEMA_VERSION:
+            if event.get("schema") not in SUPPORTED_SCHEMAS:
                 problems.append(
-                    f"{where}: schema {event.get('schema')!r} != "
-                    f"{SCHEMA_VERSION}"
+                    f"{where}: unsupported schema version "
+                    f"{event.get('schema')!r} (this build reads "
+                    f"{', '.join(map(str, SUPPORTED_SCHEMAS))}; the trace "
+                    "was written by a newer or unknown producer)"
                 )
         elif etype == "span":
             if event.get("dur", 0) < 0:

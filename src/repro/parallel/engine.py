@@ -74,6 +74,18 @@ logger = get_logger("parallel")
 #: Seconds between liveness checks while waiting for worker reports.
 _POLL_SECONDS = 1.0
 
+#: Worker stamp of the most recent parallel run in this process: worker
+#: pids + transport topology, recorded at run start for the run ledger
+#: (``repro.obs.ledger``) so audit records name the actual fleet that
+#: executed, not just the requested configuration.
+_LAST_WORKER_STAMP: Optional[Dict[str, Any]] = None
+
+
+def last_worker_stamp() -> Optional[Dict[str, Any]]:
+    """The most recent run's worker fleet, or ``None`` before any
+    parallel run (serial runs leave it untouched)."""
+    return _LAST_WORKER_STAMP
+
 #: How long the master keeps draining reports after the first error, so a
 #: root-cause ``VertexProgramError`` can displace a secondary transport
 #: error (peers of a failed worker die of ring poisoning, and their
@@ -239,6 +251,14 @@ class ParallelEngine:
 
         order_of, _worker_of, _shards = self._routing_tables()
         pool, blob = self._ensure_pool(program)
+        global _LAST_WORKER_STAMP
+        _LAST_WORKER_STAMP = {
+            "backend": "parallel",
+            "num_workers": num_workers,
+            "transport": self.config.transport,
+            "warm_pool": self.config.warm_pool,
+            "worker_pids": [p.pid for p in pool.procs],
+        }
 
         metrics = RunMetrics()
         metrics.track_message_bytes = self.config.track_message_bytes

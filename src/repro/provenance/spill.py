@@ -30,6 +30,8 @@ Two mechanisms keep sealing off the capture hot path:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import queue
@@ -60,6 +62,11 @@ _CODE_COMPRESSIONS = {code: name for name, code in _COMPRESSION_CODES.items()}
 
 DEFAULT_ASYNC = True
 DEFAULT_COMPRESSION = "zlib"
+
+#: Store manifest: per-slab content hashes stamped at seal time, the basis
+#: for ``repro audit verify`` (see ``repro.obs.ledger``).
+MANIFEST_FILENAME = "manifest.json"
+MANIFEST_VERSION = 1
 
 #: Bounded writer queue: backpressure instead of unbounded snapshot memory.
 _WRITE_QUEUE_DEPTH = 8
@@ -241,6 +248,15 @@ class SpillManager:
         self._slabs: Dict[int, str] = {}
         self._static_path: Optional[str] = None
         self.bytes_spilled = 0
+        # Per-slab content hashes (basename -> {"sha256", "bytes"}),
+        # computed on the writer thread while the blob is still in memory
+        # and stamped into MANIFEST_FILENAME by seal_all(). Re-seals
+        # overwrite their entry (writes complete in FIFO order).
+        self.slab_digests: Dict[str, Dict[str, Any]] = {}
+        #: Run id of the capture that sealed this store (set by the caller
+        #: before seal_all; read back by :meth:`open` for ledger parent
+        #: links on query runs).
+        self.run_id: Optional[str] = None
         # Writer thread state. The thread starts lazily on the first
         # asynchronous seal (so read-only managers and forked children
         # never own one) and is a daemon: an unflushed manager must not
@@ -252,7 +268,7 @@ class SpillManager:
         self._writer: Optional[threading.Thread] = None
         # appended by the writer, drained by the caller; deque ops are
         # atomic under the GIL so no lock is needed.
-        self._completed: Deque[Tuple[Any, str, int, int, float]] = deque()
+        self._completed: Deque[Tuple[Any, str, int, int, float, str]] = deque()
         self._writer_error: Optional[BaseException] = None
 
     @classmethod
@@ -271,6 +287,12 @@ class SpillManager:
             if name.startswith("layer-") and name.endswith(".slab"):
                 superstep = int(name[len("layer-"):-len(".slab")])
                 manager._slabs[superstep] = os.path.join(directory, name)
+        manifest = read_manifest(directory)
+        if manifest is not None:
+            manager.slab_digests = {
+                str(k): dict(v) for k, v in manifest.get("slabs", {}).items()
+            }
+            manager.run_id = manifest.get("run_id")
         return manager
 
     def slab_path(self, superstep: int) -> str:
@@ -313,10 +335,13 @@ class SpillManager:
         key, path, chunks = job
         start = time.perf_counter()
         blob, raw = _encode_slab(chunks, self.compression)
+        # Hashed here, not at verify time: the blob is already in memory
+        # on the writer thread, so the manifest digest is nearly free.
+        digest = hashlib.sha256(blob).hexdigest()
         with open(path, "wb") as fh:
             fh.write(blob)
         self._completed.append(
-            (key, path, len(blob), raw, time.perf_counter() - start)
+            (key, path, len(blob), raw, time.perf_counter() - start, digest)
         )
 
     def _submit(self, key: Any, path: str, chunks: Dict[str, Any]) -> None:
@@ -342,8 +367,11 @@ class SpillManager:
             completed.append(pending.popleft())
         metrics = _spill_metrics()
         tracer = get_tracer()
-        for key, path, size, raw, seconds in completed:
+        for key, path, size, raw, seconds, digest in completed:
             self.bytes_spilled += size
+            self.slab_digests[os.path.basename(path)] = {
+                "sha256": digest, "bytes": size,
+            }
             metrics.count_write(size)
             metrics.raw_bytes.inc(raw)
             metrics.seal_seconds.observe(seconds)
@@ -461,12 +489,30 @@ class SpillManager:
             if superstep not in self._slabs:
                 self.seal_layer_nowait(superstep)
         self.flush()
+        self.write_manifest()
         total = self.total_sealed_bytes()
         logger.debug(
             "sealed %d layer(s) + static, %d bytes -> %s",
             self.store.num_layers, total, self.directory,
         )
         return total
+
+    def write_manifest(self) -> str:
+        """Stamp the per-slab content hashes (and the producing run id, if
+        set) into ``manifest.json``. Called by :meth:`seal_all`; callable
+        again after setting :attr:`run_id` to re-stamp without re-sealing."""
+        path = os.path.join(self.directory, MANIFEST_FILENAME)
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "compression": self.compression,
+            "slabs": {name: self.slab_digests[name]
+                      for name in sorted(self.slab_digests)},
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        return path
 
     # ------------------------------------------------------------------
     # loading
@@ -554,6 +600,8 @@ class SpillManager:
         paths = list(self._slabs.values())
         if self._static_path is not None:
             paths.append(self._static_path)
+        if self.slab_digests or self.run_id is not None:
+            paths.append(os.path.join(self.directory, MANIFEST_FILENAME))
         for path in paths:
             try:
                 os.unlink(path)
@@ -561,6 +609,7 @@ class SpillManager:
                 pass
         self._slabs.clear()
         self._static_path = None
+        self.slab_digests.clear()
         if self._own_dir:
             try:
                 os.rmdir(self.directory)
@@ -576,6 +625,23 @@ class SpillManager:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+def read_manifest(directory: str) -> Optional[Dict[str, Any]]:
+    """Load a store's seal-time manifest; ``None`` when the store predates
+    manifests (or was never sealed via :meth:`SpillManager.seal_all`)."""
+    path = os.path.join(directory, MANIFEST_FILENAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProvenanceError(f"{path}: corrupt store manifest: {exc}") \
+            from None
+    if not isinstance(manifest, dict):
+        raise ProvenanceError(f"{path}: corrupt store manifest: not an object")
+    return manifest
 
 
 def rebuild_store(spill: SpillManager) -> ProvenanceStore:

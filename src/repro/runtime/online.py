@@ -701,8 +701,59 @@ def run_online(
             "sealed_layers": wrapper.sealed_layers,
         },
     )
+    if engine_config.ledger_dir:
+        _append_ledger_record(
+            engine_config, graph, run, query, query_result, capture, spill,
+            analytic_name=wrapper.name,
+        )
     return OnlineRunResult(
         analytic=run, query=query_result, store=store, spill=spill
+    )
+
+
+def _append_ledger_record(
+    engine_config: EngineConfig,
+    graph: DiGraph,
+    run: Any,
+    query: Union[str, Program, CompiledQuery],
+    query_result: QueryResult,
+    capture: bool,
+    spill: Optional[SpillManager],
+    analytic_name: str,
+) -> None:
+    """Library-side ledger opt-in (``EngineConfig.ledger_dir``): one audit
+    record per online/capture run, mirroring the CLI's ``--ledger`` path.
+    Slab digests are not final here — the caller owns ``seal_all()`` — so
+    the record carries the store directory but not the slab table."""
+    from repro.obs import ledger as obsledger
+
+    results: Dict[str, Any] = {
+        "values_sha256": obsledger.digest_values(run.values),
+        "supersteps": run.num_supersteps,
+        "halt_reason": run.halt_reason,
+        "query_sha256": obsledger.digest_query_result(query_result),
+        "derivations": query_result.derivations,
+    }
+    if spill is not None:
+        results["store"] = {"directory": spill.directory}
+    workers = None
+    if engine_config.backend == "parallel":
+        from repro.parallel.engine import last_worker_stamp
+
+        workers = last_worker_stamp()
+    obsledger.RunLedger(engine_config.ledger_dir).append(
+        obsledger.make_record(
+            "capture" if capture else "online",
+            wall_seconds=run.metrics.wall_seconds,
+            config=engine_config,
+            dataset=obsledger.dataset_fingerprint(graph),
+            analytic=analytic_name,
+            query=query if isinstance(query, str) else None,
+            results=results,
+            metrics=run.metrics.summary(),
+            registry=get_registry(),
+            workers=workers,
+        )
     )
 
 

@@ -290,3 +290,262 @@ class TestParallelBackendFlags:
         with pytest.raises(SystemExit):
             main(["run", "--analytic", "sssp", "--graph", graph_file,
                   "--backend", "threads"])
+
+
+class TestRunLedgerAndAudit:
+    @pytest.fixture()
+    def audited_store(self, graph_file, tmp_path, capsys):
+        """A captured store plus one query against it, both ledgered (the
+        store directory is the default ledger for both commands)."""
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        assert main([
+            "query", "--store", store_dir, "--query", "query10",
+            "--param", "alpha=0", "--param", "sigma=0",
+        ]) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def test_capture_and_query_records_are_linked(self, audited_store):
+        from repro.obs.ledger import RunLedger
+
+        records = RunLedger(audited_store).records()
+        assert [r["command"] for r in records] == ["capture", "query"]
+        capture, query = records
+        assert query["parent_run_id"] == capture["run_id"]
+        assert capture["run_id"].startswith("r")
+        store = capture["results"]["store"]
+        assert "static.slab" in store["slabs"]
+        assert capture["config"]["backend"] == "serial"
+        assert capture["dataset"]["edges_sha256"]
+        assert query["results"]["mode"] == "layered"
+        assert query["query"]["sha256"]
+
+    def test_manifest_names_the_capture_run(self, audited_store):
+        from repro.obs.ledger import RunLedger
+        from repro.provenance.spill import read_manifest
+
+        manifest = read_manifest(audited_store)
+        capture = RunLedger(audited_store).latest("capture")
+        assert manifest["run_id"] == capture["run_id"]
+        assert set(manifest["slabs"]) == set(
+            capture["results"]["store"]["slabs"]
+        )
+
+    def test_explicit_ledger_flag_overrides_default(self, graph_file,
+                                                    tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        store_dir = str(tmp_path / "prov")
+        ledger_dir = str(tmp_path / "ledger")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir, "--ledger", ledger_dir,
+        ]) == 0
+        assert RunLedger(ledger_dir).latest("capture") is not None
+        assert not os.path.exists(os.path.join(store_dir, "ledger.jsonl"))
+
+    def test_run_records_with_ledger_flag_only(self, graph_file, tmp_path,
+                                               capsys):
+        from repro.obs.ledger import RunLedger
+
+        ledger_dir = str(tmp_path / "ledger")
+        assert main([
+            "run", "--analytic", "sssp", "--graph", graph_file,
+            "--ledger", ledger_dir,
+        ]) == 0
+        record = RunLedger(ledger_dir).latest("run")
+        assert record["results"]["values_sha256"]
+        assert record["metrics"]["supersteps"] >= 1
+
+    def test_audit_list_and_show(self, audited_store, capsys):
+        assert main(["audit", "list", "--store", audited_store]) == 0
+        out = capsys.readouterr().out
+        assert "capture" in out and "query" in out and "run id" in out
+
+        assert main([
+            "audit", "show", "latest:capture", "--store", audited_store,
+        ]) == 0
+        import json
+
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "capture"
+
+    def test_audit_verify_fresh_store_passes(self, audited_store, capsys):
+        assert main(["audit", "verify", "--store", audited_store]) == 0
+        assert "audit verify OK" in capsys.readouterr().out
+
+    def test_audit_verify_detects_tampering(self, audited_store, capsys):
+        slab = os.path.join(audited_store, "layer-000000.slab")
+        with open(slab, "r+b") as fh:
+            fh.seek(16)
+            fh.write(b"\x00\x01\x02")
+        assert main(["audit", "verify", "--store", audited_store]) == 1
+        err = capsys.readouterr().err
+        assert "audit verify FAILED" in err
+        assert "drift" in err
+
+    def test_audit_diff_and_compare(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger, make_record
+
+        ledger_dir = str(tmp_path / "ledger")
+        ledger = RunLedger(ledger_dir)
+        a = ledger.append(make_record(
+            "run", analytic="sssp", wall_seconds=1.0,
+            metrics={"supersteps": 5, "messages": 100},
+            results={"values_sha256": "d1"},
+        ))
+        b = ledger.append(make_record(
+            "run", analytic="sssp", wall_seconds=1.5,
+            metrics={"supersteps": 5, "messages": 140},
+            results={"values_sha256": "d1"},
+        ))
+        assert main([
+            "audit", "diff", a["run_id"], b["run_id"],
+            "--ledger", ledger_dir,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics.messages" in out and "field(s) differ" in out
+
+        # 50% slower than a's wall at a 10% threshold: regression, rc 1
+        assert main([
+            "compare", a["run_id"], b["run_id"], "--ledger", ledger_dir,
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        # generous threshold: same comparison passes
+        assert main([
+            "compare", a["run_id"], b["run_id"], "--ledger", ledger_dir,
+            "--threshold", "0.6",
+        ]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_audit_without_ledger_errors(self, tmp_path, capsys):
+        assert main(["audit", "list"]) == 2
+        assert "no ledger to read" in capsys.readouterr().err
+
+
+class TestOTelTraceFormat:
+    def test_run_trace_otel_format(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.obs.otel import validate_otlp
+
+        trace_file = str(tmp_path / "run.otel.json")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "3",
+            "--trace", trace_file, "--trace-format", "otel",
+        ]) == 0
+        with open(trace_file, "r", encoding="utf-8") as fh:
+            otlp = json.load(fh)
+        assert validate_otlp(otlp) == []
+        resource = {
+            kv["key"]: kv["value"]
+            for kv in otlp["resourceSpans"][0]["resource"]["attributes"]
+        }
+        # the exported trace names the run that produced it
+        assert resource["repro.run_id"]["stringValue"].startswith("r")
+
+    def test_stats_converts_and_validates_otel(self, graph_file, tmp_path,
+                                               capsys):
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "3",
+            "--trace", trace_file,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "stats", trace_file, "--format", "otel", "--validate",
+        ]) == 0
+        assert "otel trace OK" in capsys.readouterr().out
+
+        out_file = str(tmp_path / "out.otel.json")
+        assert main([
+            "stats", trace_file, "--format", "otel", "--out", out_file,
+        ]) == 0
+        import json
+
+        from repro.obs.otel import validate_otlp
+
+        with open(out_file, "r", encoding="utf-8") as fh:
+            assert validate_otlp(json.load(fh)) == []
+
+    def test_jsonl_meta_carries_schema_v2_run_id(self, graph_file,
+                                                 tmp_path, capsys):
+        import json
+
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "3",
+            "--trace", trace_file,
+        ]) == 0
+        with open(trace_file, "r", encoding="utf-8") as fh:
+            meta = json.loads(fh.readline())
+        assert meta["type"] == "meta"
+        assert meta["schema"] == 2
+        assert meta["run_id"].startswith("r")
+
+    def test_unknown_schema_version_is_rejected(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.sinks import meta_event, read_trace, validate_events
+
+        bad = meta_event()
+        bad["schema"] = 99
+        trace_file = str(tmp_path / "bad.jsonl")
+        with open(trace_file, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(bad) + "\n")
+        problems = validate_events(read_trace(trace_file))
+        assert any("unsupported schema version 99" in p for p in problems)
+        assert any("this build reads 1, 2" in p for p in problems)
+
+
+class TestVerboseLogging:
+    def test_inspect_verbose_logs_store_details(self, graph_file, tmp_path,
+                                                capsys):
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", "--store", store_dir, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "inspect: opening sealed store" in out
+
+        assert main([
+            "export", "--store", store_dir,
+            "--out", str(tmp_path / "prov.ttl"), "-v",
+        ]) == 0
+        assert "export: opening sealed store" in capsys.readouterr().out
+
+    def test_explain_and_stats_verbose_logs(self, graph_file, tmp_path,
+                                            capsys):
+        assert main([
+            "explain", "--query", "query10",
+            "--param", "alpha=0", "--param", "sigma=0", "-v",
+        ]) == 0
+        assert "explain: compiling" in capsys.readouterr().out
+
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main([
+            "run", "--graph", graph_file, "--supersteps", "2",
+            "--trace", trace_file,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", trace_file, "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "stats: reading trace" in out
+
+    def test_quiet_suppresses_info_logs(self, graph_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "prov")
+        assert main([
+            "capture", "--analytic", "sssp", "--graph", graph_file,
+            "--out", store_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", "--store", store_dir, "--quiet"]) == 0
+        assert "inspect: opening" not in capsys.readouterr().out
