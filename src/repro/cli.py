@@ -81,23 +81,9 @@ from repro.runtime.offline import run_layered, run_naive
 
 logger = get_logger("cli")
 
-NAMED_QUERIES: Dict[str, str] = {
-    "query1": Q.APT_QUERY,
-    "apt": Q.APT_QUERY,
-    "query2": Q.CAPTURE_FULL_QUERY,
-    "capture-full": Q.CAPTURE_FULL_QUERY,
-    "query3": Q.CAPTURE_FWD_LINEAGE_QUERY,
-    "query4": Q.PAGERANK_CHECK_QUERY,
-    "query5": Q.SSSP_WCC_UPDATE_CHECK_QUERY,
-    "query6": Q.SSSP_WCC_STABILITY_QUERY,
-    "query7": Q.ALS_ERROR_RANGE_QUERY,
-    "query8": Q.ALS_ERROR_TREND_QUERY,
-    "query9": Q.FORWARD_LINEAGE_FULL_QUERY,
-    "forward-lineage": Q.FORWARD_LINEAGE_FULL_QUERY,
-    "query10": Q.BACKWARD_LINEAGE_FULL_QUERY,
-    "query11": Q.CAPTURE_BACKWARD_CUSTOM_QUERY,
-    "query12": Q.BACKWARD_LINEAGE_CUSTOM_QUERY,
-}
+# The canonical table lives next to the query texts; re-exported here for
+# backwards compatibility with callers that imported it from the CLI.
+NAMED_QUERIES: Dict[str, str] = Q.NAMED_QUERIES
 
 TRACE_FORMATS = ("jsonl", "chrome", "prom", "otel")
 
@@ -517,9 +503,22 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         result = run_naive(store, query_text, graph, params,
                            use_index=use_index)
-    print(f"{args.mode} evaluation: {result.wall_seconds:.3f}s, "
-          f"{result.derivations} derivations")
-    _print_query_result(result)
+    json_output = getattr(args, "json_output", False)
+    if json_output:
+        from repro.pql.serialize import canonical_json, result_to_dict
+
+        # The "result" subtree is the shared serializer's output — byte-
+        # identical to the server's query responses over the same store.
+        print(canonical_json({
+            "result": result_to_dict(result),
+            "run_id": args.run_id,
+            "store": os.path.abspath(args.store),
+            "wall_seconds": result.wall_seconds,
+        }))
+    else:
+        print(f"{args.mode} evaluation: {result.wall_seconds:.3f}s, "
+              f"{result.derivations} derivations")
+        _print_query_result(result)
     _append_run_record(
         args, "query",
         default_dir=args.store,
@@ -536,7 +535,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         },
         wall_seconds=result.wall_seconds,
     )
-    if args.show:
+    if args.show and not json_output:
         for relation in args.show:
             for row in result.rows(relation)[: args.limit]:
                 print(f"  {relation}{row}")
@@ -544,6 +543,48 @@ def cmd_query(args: argparse.Namespace) -> int:
         timings = result.stats.get("stratum_seconds") or {}
         if timings:
             _print_stratum_timings(args, timings, index_stats=result.stats)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the provenance query server over one or more sealed stores."""
+    import asyncio
+
+    from repro.serve.app import ReproServer
+    from repro.serve.catalog import RunCatalog
+
+    catalog = RunCatalog(data_dir=args.data_dir,
+                         verify=not args.no_verify)
+    for directory in args.store or []:
+        entry, _created = catalog.register_path(directory)
+        logger.info("serve: registered %s as %s", directory, entry.run_id)
+    server = ReproServer(
+        catalog,
+        host=args.host,
+        port=args.port,
+        default_timeout=args.timeout,
+        default_max_rows=args.max_rows,
+        default_max_depth=args.max_depth,
+        eval_workers=args.eval_workers,
+        record_queries=not args.no_query_ledger,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving {len(catalog)} run(s) on "
+              f"http://{server.host}:{server.port}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.host}:{server.port}\n")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -892,7 +933,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show", action="append",
                    help="print rows of this relation (repeatable)")
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--json", action="store_true", dest="json_output",
+                   help="print the full result as canonical JSON "
+                        "(byte-identical to the serve API's result field)")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve sealed stores over HTTP (catalog + PQL endpoints)",
+        parents=[obs, trace],
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8844,
+                   help="listen port (0 picks a free port; default 8844)")
+    p.add_argument("--store", action="append", metavar="DIR",
+                   help="sealed store to register at startup (repeatable)")
+    p.add_argument("--data-dir", metavar="DIR",
+                   help="directory for uploaded stores (default: temp dir)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-query wall-clock budget in seconds "
+                        "(default 30)")
+    p.add_argument("--max-rows", type=int,
+                   help="default per-query result-row budget")
+    p.add_argument("--max-depth", type=int,
+                   help="default per-query provenance-layer budget")
+    p.add_argument("--eval-workers", type=int, default=4,
+                   help="evaluation thread-pool size (default 4)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip slab-digest verification at admission")
+    p.add_argument("--no-query-ledger", action="store_true",
+                   help="do not append serve-query records to store ledgers")
+    p.add_argument("--ready-file", metavar="PATH",
+                   help="write host:port here once listening (for scripts)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("inspect", help="inspect a sealed store",
                        parents=[obs])

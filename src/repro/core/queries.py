@@ -197,3 +197,23 @@ MONITORING_QUERIES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("query8", ALS_ERROR_TREND_QUERY),
     ),
 }
+
+#: Shorthand names accepted wherever a query is named instead of given as
+#: PQL source (``repro query --query``, the serve API's ``query`` field).
+NAMED_QUERIES: Dict[str, str] = {
+    "query1": APT_QUERY,
+    "apt": APT_QUERY,
+    "query2": CAPTURE_FULL_QUERY,
+    "capture-full": CAPTURE_FULL_QUERY,
+    "query3": CAPTURE_FWD_LINEAGE_QUERY,
+    "query4": PAGERANK_CHECK_QUERY,
+    "query5": SSSP_WCC_UPDATE_CHECK_QUERY,
+    "query6": SSSP_WCC_STABILITY_QUERY,
+    "query7": ALS_ERROR_RANGE_QUERY,
+    "query8": ALS_ERROR_TREND_QUERY,
+    "query9": FORWARD_LINEAGE_FULL_QUERY,
+    "forward-lineage": FORWARD_LINEAGE_FULL_QUERY,
+    "query10": BACKWARD_LINEAGE_FULL_QUERY,
+    "query11": CAPTURE_BACKWARD_CUSTOM_QUERY,
+    "query12": BACKWARD_LINEAGE_CUSTOM_QUERY,
+}

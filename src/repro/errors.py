@@ -88,5 +88,29 @@ class PQLCompatibilityError(PQLSemanticError):
     (e.g. online evaluation of a backward query)."""
 
 
+class BudgetExceededError(PQLError):
+    """A query evaluation exceeded one of its per-request budgets.
+
+    ``kind`` names the exhausted resource — ``"depth"`` (provenance layers
+    visited), ``"rows"`` (derived result rows), ``"timeout"`` (wall-clock
+    deadline), or ``"cancelled"`` (the caller revoked the budget, e.g. a
+    server request was cancelled) — and ``limit`` is the configured bound,
+    so callers can surface a structured error without parsing the message.
+    """
+
+    def __init__(self, kind: str, limit: object, detail: str = ""):
+        self.kind = kind
+        self.limit = limit
+        self.detail = detail
+        message = f"query budget exceeded: {kind} (limit {limit!r})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        return {"error": "budget_exceeded", "kind": self.kind,
+                "limit": self.limit, "detail": self.detail}
+
+
 class BenchmarkError(ReproError):
     """Benchmark harness configuration or execution failure."""

@@ -65,6 +65,7 @@ from repro.obs.trace import (
     PHASE_COMPUTE,
     PHASE_QUERY,
     PHASE_RUN,
+    PHASE_SERVE,
     PHASE_SPILL,
     PHASE_SUPERSTEP,
     PHASES,
@@ -72,7 +73,9 @@ from repro.obs.trace import (
     Span,
     Tracer,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
+    thread_tracing,
     tracing,
 )
 
@@ -113,6 +116,7 @@ __all__ = [
     "PHASE_COMPUTE",
     "PHASE_QUERY",
     "PHASE_RUN",
+    "PHASE_SERVE",
     "PHASE_SPILL",
     "PHASE_SUPERSTEP",
     "PHASES",
@@ -120,6 +124,8 @@ __all__ = [
     "Span",
     "Tracer",
     "get_tracer",
+    "set_thread_tracer",
     "set_tracer",
+    "thread_tracing",
     "tracing",
 ]

@@ -46,11 +46,12 @@ PHASE_QUERY = "query-eval"
 PHASE_SPILL = "spill"
 PHASE_CHECKPOINT = "checkpoint"
 PHASE_TRANSPORT = "transport"  # worker-side message exchange (parallel)
+PHASE_SERVE = "serve"  # HTTP request handling in the query server
 
 PHASES = (
     PHASE_RUN, PHASE_SUPERSTEP, PHASE_COMPUTE, PHASE_BARRIER, PHASE_COMBINE,
     PHASE_CAPTURE, PHASE_QUERY, PHASE_SPILL, PHASE_CHECKPOINT,
-    PHASE_TRANSPORT,
+    PHASE_TRANSPORT, PHASE_SERVE,
 )
 
 
@@ -308,9 +309,21 @@ class Tracer:
 
 _ACTIVE: Any = NULL_TRACER
 
+# Per-thread override. A Tracer's span stack is single-threaded by design,
+# so code that evaluates on worker threads while a process-wide tracer is
+# installed (the query server's executor offload) scopes a private tracer
+# to its thread and ingests the drained events into the main trace
+# afterwards — the same pattern the parallel backend uses across processes.
+_THREAD_ACTIVE = __import__("threading").local()
+
 
 def get_tracer() -> Any:
-    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    """The active tracer: this thread's override if one is installed
+    (see :class:`thread_tracing`), else the process-wide tracer
+    (:data:`NULL_TRACER` by default)."""
+    override = getattr(_THREAD_ACTIVE, "tracer", None)
+    if override is not None:
+        return override
     return _ACTIVE
 
 
@@ -319,6 +332,16 @@ def set_tracer(tracer: Any) -> Any:
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def set_thread_tracer(tracer: Any) -> Any:
+    """Install ``tracer`` for the *calling thread only*; returns the
+    thread's previous override (``None`` when there was none). Pass
+    ``None`` to remove the override and fall back to the process-wide
+    tracer."""
+    previous = getattr(_THREAD_ACTIVE, "tracer", None)
+    _THREAD_ACTIVE.tracer = tracer
     return previous
 
 
@@ -339,3 +362,24 @@ class tracing:
 
     def __exit__(self, *exc: Any) -> None:
         set_tracer(self._previous)
+
+
+class thread_tracing:
+    """Context manager installing a tracer for the calling thread only.
+
+    Used where evaluation runs on a worker thread while another thread
+    owns the process-wide tracer: each worker traces into its own sink,
+    then the owner ingests the drained events (``Tracer.ingest``) so span
+    ids stay unique and the shared span stack is never touched from two
+    threads."""
+
+    def __init__(self, tracer: Any) -> None:
+        self.tracer = tracer
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        self._previous = set_thread_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: Any) -> None:
+        set_thread_tracer(self._previous)

@@ -1,0 +1,156 @@
+"""Cooperative per-request budgets for PQL evaluation.
+
+A :class:`QueryBudget` bounds one evaluation along three axes — provenance
+layers visited (``max_depth``), derived result rows (``max_rows``), and
+wall clock (``timeout_seconds``) — and additionally carries a cancellation
+flag so a caller on another thread (the serve layer's event loop) can
+revoke an evaluation that is already running.
+
+Enforcement is *cooperative*: CPython threads cannot be killed, so the
+evaluator itself calls :meth:`tick` from its inner loop and
+:meth:`note_layer` / :meth:`add_rows` at coarser milestones, and the
+budget raises :class:`~repro.errors.BudgetExceededError` the moment a
+bound is crossed. The exception unwinds the evaluation promptly (no
+partial result escapes), which is what lets the server guarantee that a
+timed-out or cancelled request does not leave an executor thread spinning.
+
+Cost when no budget is in play is a single ``is not None`` check at each
+call site; :meth:`tick` itself strides the clock read (one
+``perf_counter`` every :data:`TICK_STRIDE` calls) so the armed path stays
+off the evaluation profile too. Budgets are single-use: create one per
+request, never share across requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import BudgetExceededError
+
+#: tick() reads the clock once every this many calls; cancellation is
+#: checked on every call (an Event.is_set() is one attribute read).
+TICK_STRIDE = 64
+
+
+class QueryBudget:
+    """Single-use budget for one query evaluation. Thread-safe to the
+    extent the serve layer needs: the evaluator thread calls the check
+    methods while any other thread may call :meth:`cancel`."""
+
+    __slots__ = ("max_depth", "max_rows", "timeout_seconds", "_cancelled",
+                 "_deadline", "_started", "_ticks", "_rows", "_layers")
+
+    def __init__(self, max_depth: Optional[int] = None,
+                 max_rows: Optional[int] = None,
+                 timeout_seconds: Optional[float] = None) -> None:
+        if max_depth is not None and max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        if max_rows is not None and max_rows <= 0:
+            raise ValueError("max_rows must be positive")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        self.max_depth = max_depth
+        self.max_rows = max_rows
+        self.timeout_seconds = timeout_seconds
+        self._cancelled = threading.Event()
+        self._deadline: Optional[float] = None
+        self._started = False
+        self._ticks = 0
+        self._rows = 0
+        self._layers = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Result rows derived so far (as reported via :meth:`add_rows`)."""
+        return self._rows
+
+    @property
+    def layers(self) -> int:
+        """Provenance layers visited so far."""
+        return self._layers
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def start(self) -> "QueryBudget":
+        """Arm the wall-clock deadline. Idempotent; called by the first
+        evaluator that sees the budget, or eagerly by the server just
+        before offloading so queue time counts against the deadline."""
+        if not self._started:
+            self._started = True
+            if self.timeout_seconds is not None:
+                self._deadline = time.perf_counter() + self.timeout_seconds
+        return self
+
+    def cancel(self) -> None:
+        """Revoke the budget from any thread; the evaluator raises
+        ``BudgetExceededError(kind='cancelled')`` at its next tick."""
+        self._cancelled.set()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Inner-loop check: cancellation every call, clock every
+        :data:`TICK_STRIDE` calls."""
+        if self._cancelled.is_set():
+            raise BudgetExceededError(
+                "cancelled", None, "evaluation cancelled by caller")
+        self._ticks += 1
+        if self._ticks >= TICK_STRIDE:
+            self._ticks = 0
+            self.check_time()
+
+    def check_time(self) -> None:
+        """Unstrided deadline check (also re-checks cancellation)."""
+        if self._cancelled.is_set():
+            raise BudgetExceededError(
+                "cancelled", None, "evaluation cancelled by caller")
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise BudgetExceededError(
+                "timeout", self.timeout_seconds,
+                "wall-clock deadline passed during evaluation")
+
+    def note_layer(self) -> None:
+        """Count one provenance layer about to be visited."""
+        self._layers += 1
+        if self.max_depth is not None and self._layers > self.max_depth:
+            raise BudgetExceededError(
+                "depth", self.max_depth,
+                f"evaluation would visit layer {self._layers}")
+        self.check_time()
+
+    def check_depth(self, layers: int) -> None:
+        """Up-front depth check for evaluators that materialize every
+        layer at once (the naive driver)."""
+        if self.max_depth is not None and layers > self.max_depth:
+            raise BudgetExceededError(
+                "depth", self.max_depth,
+                f"store has {layers} provenance layers")
+
+    def add_rows(self, count: int) -> None:
+        """Account ``count`` freshly derived rows."""
+        if count:
+            self._rows += count
+            if self.max_rows is not None and self._rows > self.max_rows:
+                raise BudgetExceededError(
+                    "rows", self.max_rows,
+                    f"evaluation derived {self._rows} rows")
+        self.check_time()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary of the configured bounds (for responses,
+        ledger records, and error payloads)."""
+        return {
+            "max_depth": self.max_depth,
+            "max_rows": self.max_rows,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryBudget(max_depth={self.max_depth}, "
+                f"max_rows={self.max_rows}, "
+                f"timeout_seconds={self.timeout_seconds})")

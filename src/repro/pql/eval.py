@@ -690,6 +690,7 @@ def run_prepared(
     sites: Sequence[Any],
     anchor_time: Optional[int] = None,
     stratum_seconds: Optional[Dict[int, float]] = None,
+    budget: Optional[Any] = None,
 ) -> int:
     """Evaluate prepared strata in order, each to fixpoint over ``sites``.
 
@@ -698,6 +699,13 @@ def run_prepared(
     tracing is enabled, and the timings feed ``EXPLAIN``). When ``None``
     — the online runtime's per-vertex hot path — the only cost is one
     ``is not None`` check per call.
+
+    ``budget`` is an optional :class:`repro.pql.budget.QueryBudget`: its
+    ``tick`` runs once per evaluation site (cancellation + strided clock)
+    and each fixpoint round's new derivations are charged against the row
+    budget, so a bounded request raises ``BudgetExceededError`` from
+    inside the loop rather than discovering the overrun at the end. The
+    unbudgeted hot path keeps its original loop untouched.
     """
     total = 0
     timing = stratum_seconds is not None
@@ -707,11 +715,20 @@ def run_prepared(
         while True:
             new = 0
             for crule in stratum:
-                for site in sites:
-                    new += evaluate_rule(
-                        crule, mode, db, functions, site, anchor_time
-                    )
+                if budget is None:
+                    for site in sites:
+                        new += evaluate_rule(
+                            crule, mode, db, functions, site, anchor_time
+                        )
+                else:
+                    for site in sites:
+                        budget.tick()
+                        new += evaluate_rule(
+                            crule, mode, db, functions, site, anchor_time
+                        )
             total += new
+            if budget is not None:
+                budget.add_rows(new)
             if new == 0 or not recursive:
                 break
         if timing:
@@ -731,6 +748,7 @@ def run_strata(
     sites: Iterable[Any],
     anchor_time: Optional[int] = None,
     stratum_seconds: Optional[Dict[int, float]] = None,
+    budget: Optional[Any] = None,
 ) -> int:
     """Evaluate strata in order, each to fixpoint over ``sites``.
 
@@ -739,5 +757,5 @@ def run_strata(
     """
     return run_prepared(
         prepare_strata(strata), mode, db, functions, list(sites), anchor_time,
-        stratum_seconds,
+        stratum_seconds, budget,
     )

@@ -1,0 +1,171 @@
+"""Canonical ordering and JSON serialization for PQL query results.
+
+This module is the single source of truth for two contracts the CLI and
+the query server both depend on:
+
+* **Row order.** Result rows of a relation are totally ordered by
+  :func:`row_sort_key` (the row's ``repr``). Every surface that exposes
+  rows — ``QueryResult.rows``, ``repro query`` output, HTTP responses,
+  pagination cursors — sorts with this key, so indexed and scan
+  evaluation, layered and naive modes, CLI and server all agree on the
+  exact sequence. Pagination cursors are plain offsets into that
+  sequence, which is what makes them deterministic across requests.
+
+* **JSON shape.** :func:`result_to_dict` maps a ``QueryResult`` to a
+  JSON-safe dict containing only deterministic evaluation outputs (no
+  timings, no index counters), and :func:`canonical_json` fixes the byte
+  encoding. The differential tests pin CLI ``--json`` output and server
+  responses byte-identical through these two functions.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def row_sort_key(row: Any) -> str:
+    """The canonical total-order key for result rows.
+
+    ``repr`` orders mixed-type rows without comparability constraints
+    (ints, floats, strings, and tuples all occur in provenance rows) and
+    is stable across processes for the value types PQL derives.
+    """
+    return repr(row)
+
+
+def ordered_rows(rows: Iterable[Any]) -> List[Any]:
+    """Rows sorted into the canonical order."""
+    return sorted(rows, key=row_sort_key)
+
+
+def jsonable_value(value: Any) -> Any:
+    """Map one row field to a JSON-safe value, deterministically.
+
+    JSON scalars pass through; tuples/lists recurse (message payloads can
+    be tuples); anything else degrades to its ``repr`` so serialization
+    never fails and equal values always encode equally.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [jsonable_value(item) for item in value]
+    return repr(value)
+
+
+def jsonable_row(row: Sequence[Any]) -> List[Any]:
+    return [jsonable_value(value) for value in row]
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """Deterministic JSON-safe view of a ``QueryResult``.
+
+    Contains only content that is byte-identical across evaluation paths:
+    mode, derivation count, supersteps, and every relation's row count and
+    canonically-ordered rows. Timings and evaluator statistics are
+    intentionally excluded — callers attach those as sibling keys.
+    """
+    relations: Dict[str, Any] = {}
+    for relation in result.relations():
+        rows = result.rows(relation)
+        relations[relation] = {
+            "count": len(rows),
+            "rows": [jsonable_row(row) for row in rows],
+        }
+    return {
+        "mode": result.mode,
+        "derivations": result.derivations,
+        "supersteps": result.supersteps,
+        "relations": relations,
+    }
+
+
+def result_digest(result: Any) -> str:
+    """Short content digest of a result's deterministic view (the
+    pagination cursor's consistency token)."""
+    import hashlib
+
+    payload = canonical_json(result_to_dict(result))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def flatten_result(result: Any) -> List[Tuple[str, List[Any]]]:
+    """The canonical flat sequence a pagination cursor indexes into:
+    ``(relation, row)`` pairs, relations in sorted order, rows in
+    canonical order within each relation."""
+    flat: List[Tuple[str, List[Any]]] = []
+    for relation in result.relations():
+        for row in result.rows(relation):
+            flat.append((relation, jsonable_row(row)))
+    return flat
+
+
+def canonical_json(obj: Any) -> str:
+    """The one JSON encoding both CLI and server emit: sorted keys,
+    minimal separators, no NaN/Infinity leniency."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Pagination cursors: opaque base64url-encoded JSON carrying the offset
+# into the flattened row sequence plus the result digest the offset was
+# computed against. Replaying a cursor against a store whose re-evaluated
+# result no longer matches the digest is a structured error, never a
+# silently-shifted page.
+
+def encode_cursor(offset: int, digest: str) -> str:
+    payload = canonical_json({"v": 1, "offset": offset, "digest": digest})
+    return base64.urlsafe_b64encode(payload.encode("utf-8")).decode("ascii")
+
+
+def decode_cursor(cursor: str) -> Tuple[int, str]:
+    """Returns ``(offset, digest)``; raises ``ValueError`` on garbage."""
+    try:
+        payload = base64.urlsafe_b64decode(cursor.encode("ascii"))
+        doc = json.loads(payload.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeDecodeError) as exc:
+        raise ValueError(f"malformed cursor: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("v") != 1:
+        raise ValueError("malformed cursor: unknown version")
+    offset = doc.get("offset")
+    digest = doc.get("digest")
+    if not isinstance(offset, int) or offset < 0 or not isinstance(digest, str):
+        raise ValueError("malformed cursor: bad fields")
+    return offset, digest
+
+
+def paginate(result: Any, limit: int,
+             cursor: Optional[str] = None) -> Dict[str, Any]:
+    """One stable page over a result's flattened rows.
+
+    Returns ``{"rows": [[relation, row], ...], "offset", "limit",
+    "total_rows", "next_cursor"}`` where ``next_cursor`` is ``None`` on
+    the last page. Raises ``ValueError`` for malformed/stale cursors or a
+    non-positive limit.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    digest = result_digest(result)
+    offset = 0
+    if cursor is not None:
+        offset, expected = decode_cursor(cursor)
+        if expected != digest:
+            raise ValueError(
+                "stale cursor: the result set changed since this cursor "
+                "was issued")
+    flat = flatten_result(result)
+    page = flat[offset:offset + limit]
+    next_offset = offset + len(page)
+    return {
+        "rows": [[relation, row] for relation, row in page],
+        "offset": offset,
+        "limit": limit,
+        "total_rows": len(flat),
+        "next_cursor": (encode_cursor(next_offset, digest)
+                        if next_offset < len(flat) else None),
+    }

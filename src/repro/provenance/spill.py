@@ -270,6 +270,12 @@ class SpillManager:
         # atomic under the GIL so no lock is needed.
         self._completed: Deque[Tuple[Any, str, int, int, float, str]] = deque()
         self._writer_error: Optional[BaseException] = None
+        # Serializes the read path (slab loads + the flush/drain they
+        # imply) so one manager can be shared across threads — the query
+        # server's catalog opens each sealed store exactly once and its
+        # worker threads may load layers concurrently. Sealing remains
+        # single-threaded by contract (one capture owns the manager).
+        self._read_lock = threading.Lock()
 
     @classmethod
     def open(cls, directory: str) -> "SpillManager":
@@ -529,14 +535,17 @@ class SpillManager:
         return None, pickle.loads(data), len(data)
 
     def load_static(self) -> Dict[str, Any]:
-        self.flush()
-        path = self._static_path
-        if path is None:
-            raise ProvenanceError("static slab was never sealed")
-        with get_tracer().span("spill-load", PHASE_SPILL, layer="static") as span:
-            chunks, legacy, size = self._read_slab(path)
-            span.set(bytes=size)
-        _spill_metrics().count_read(size)
+        with self._read_lock:
+            self.flush()
+            path = self._static_path
+            if path is None:
+                raise ProvenanceError("static slab was never sealed")
+            with get_tracer().span(
+                "spill-load", PHASE_SPILL, layer="static"
+            ) as span:
+                chunks, legacy, size = self._read_slab(path)
+                span.set(bytes=size)
+            _spill_metrics().count_read(size)
         if chunks is None:
             return legacy
         meta = chunks.pop(_META_KEY)
@@ -550,21 +559,23 @@ class SpillManager:
         return iter(sorted(self._slabs))
 
     def load_layer(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
-        self.flush()
-        path = self._slabs.get(superstep)
-        if path is None:
-            raise ProvenanceError(f"layer {superstep} was never sealed")
-        with get_tracer().span(
-            "spill-load", PHASE_SPILL, layer=superstep
-        ) as span:
-            chunks, legacy, size = self._read_slab(path)
-            span.set(bytes=size)
-        _spill_metrics().count_read(size)
-        return chunks if chunks is not None else legacy
+        with self._read_lock:
+            self.flush()
+            path = self._slabs.get(superstep)
+            if path is None:
+                raise ProvenanceError(f"layer {superstep} was never sealed")
+            with get_tracer().span(
+                "spill-load", PHASE_SPILL, layer=superstep
+            ) as span:
+                chunks, legacy, size = self._read_slab(path)
+                span.set(bytes=size)
+            _spill_metrics().count_read(size)
+            return chunks if chunks is not None else legacy
 
     def layer_size(self, superstep: int) -> int:
         """On-disk bytes of one sealed layer slab."""
-        self.flush()
+        with self._read_lock:
+            self.flush()
         path = self._slabs.get(superstep)
         if path is None:
             raise ProvenanceError(f"layer {superstep} was never sealed")
@@ -572,7 +583,8 @@ class SpillManager:
 
     def total_sealed_bytes(self) -> int:
         """On-disk bytes of every sealed slab (static + layers)."""
-        self.flush()
+        with self._read_lock:
+            self.flush()
         total = 0
         if self._static_path is not None:
             total += os.path.getsize(self._static_path)

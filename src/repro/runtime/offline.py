@@ -32,6 +32,7 @@ from repro.pql.analysis import (
 
 logger = get_logger("runtime.offline")
 from repro.pql.ast import Program
+from repro.pql.budget import QueryBudget
 from repro.pql.eval import (
     MODE_ANCHORED,
     MODE_FREE,
@@ -82,11 +83,16 @@ def run_layered(
     params: Optional[Dict[str, Any]] = None,
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     use_index: bool = True,
+    budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """Layered offline evaluation of a directed query.
 
     ``use_index=False`` disables hash-probe access paths (the ``--no-index``
     escape hatch); results are byte-identical either way.
+
+    ``budget`` bounds the evaluation (depth = layers visited, derived
+    rows, wall clock); overruns raise
+    :class:`~repro.errors.BudgetExceededError` mid-evaluation.
     """
     functions = FunctionRegistry(udfs)
     compiled = _compile_offline(
@@ -94,6 +100,8 @@ def run_layered(
         stats=store.counts() if use_index else None,
     )
     compiled.require_layered()
+    if budget is not None:
+        budget.start()
 
     tracer = get_tracer()
     # Cold path: per-stratum timing is always on here (two clock reads per
@@ -112,6 +120,8 @@ def run_layered(
     peak_layer_rows = 0
     layers_visited = 0
     for layer_index in order:
+        if budget is not None:
+            budget.note_layer()
         layer = store.layer(layer_index)
         sites: Set[Any] = set()
         layer_rows = 0
@@ -131,6 +141,7 @@ def run_layered(
                 sorted(sites, key=repr),
                 anchor_time=layer_index,
                 stratum_seconds=stratum_seconds,
+                budget=budget,
             )
 
     stats = {
@@ -161,12 +172,17 @@ def run_naive(
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
     use_index: bool = True,
+    budget: Optional[QueryBudget] = None,
 ) -> QueryResult:
     """Straightforward offline evaluation over the fully materialized graph.
 
     ``memory_budget_bytes`` reproduces the paper's scaling limit: loading the
     whole provenance graph fails when it exceeds the budget ("Naive was not
     able to scale beyond the two smallest datasets").
+
+    ``budget`` bounds the evaluation like :func:`run_layered`; naive mode
+    materializes every layer at once, so the depth bound is checked
+    up front against the store's layer count.
     """
     functions = FunctionRegistry(udfs)
     compiled = _compile_offline(
@@ -177,6 +193,9 @@ def run_naive(
         raise PQLCompatibilityError(
             "queries over transient stream relations only run online"
         )
+    if budget is not None:
+        budget.start()
+        budget.check_depth(store.num_layers)
     loaded_bytes = store.total_bytes()
     if memory_budget_bytes is not None and loaded_bytes > memory_budget_bytes:
         raise MemoryError(
@@ -209,6 +228,7 @@ def run_naive(
         derivations += run_strata(
             compiled.strata, MODE_LOCATED, db, functions, sites,
             stratum_seconds=stratum_seconds,
+            budget=budget,
         )
     stats = {
         "loaded_bytes": loaded_bytes,

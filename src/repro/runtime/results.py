@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.engine.engine import RunResult
 from repro.pql.eval import Row, TupleStore
+from repro.pql.serialize import ordered_rows, row_sort_key
 from repro.provenance.spill import SpillManager
 from repro.provenance.store import ProvenanceStore
 
@@ -31,8 +32,10 @@ class QueryResult:
         return sorted(derived)
 
     def rows(self, relation: str) -> List[Row]:
-        """All derived tuples of one relation, deterministically sorted."""
-        return sorted(self.derived.all_rows(relation), key=repr)
+        """All derived tuples of one relation, in the canonical total
+        order (``repro.pql.serialize.row_sort_key``) that pagination
+        cursors and the CLI/server serializers depend on."""
+        return ordered_rows(self.derived.all_rows(relation))
 
     def count(self, relation: str) -> int:
         return self.derived.num_rows(relation)
@@ -41,7 +44,7 @@ class QueryResult:
         return {row[0] for row in self.derived.all_rows(relation)}
 
     def rows_at(self, relation: str, vertex: Any) -> List[Row]:
-        return sorted(self.derived.rows(relation, vertex), key=repr)
+        return sorted(self.derived.rows(relation, vertex), key=row_sort_key)
 
     def as_dict(self) -> Dict[str, List[Row]]:
         return {rel: self.rows(rel) for rel in self.relations()}

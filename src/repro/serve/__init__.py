@@ -1,0 +1,24 @@
+"""repro.serve — provenance-as-a-service over sealed capture stores.
+
+A long-lived stdlib-asyncio HTTP/1.1 server (``repro serve``) that holds
+many sealed captures open in a :class:`~repro.serve.catalog.RunCatalog`
+and answers concurrent PQL queries with per-request budgets, stable
+pagination, cached prepared plans, and full ``repro.obs`` instrumentation.
+
+* :mod:`repro.serve.http` — minimal HTTP/1.1 framing over asyncio streams;
+* :mod:`repro.serve.catalog` — the run catalog: digest-verified admission,
+  one open handle per store, per-run prepared-plan cache + eval lock;
+* :mod:`repro.serve.app` — routes, budget enforcement, obs/ledger wiring;
+* :mod:`repro.serve.testing` — a threaded server harness for tests and
+  benchmarks.
+"""
+
+from repro.serve.app import ReproServer
+from repro.serve.catalog import AdmissionError, CatalogEntry, RunCatalog
+
+__all__ = [
+    "AdmissionError",
+    "CatalogEntry",
+    "ReproServer",
+    "RunCatalog",
+]

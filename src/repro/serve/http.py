@@ -1,0 +1,198 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+Just enough protocol for the query server: request-line + headers +
+``Content-Length`` bodies in, status + headers + body out, keep-alive by
+default (HTTP/1.1 semantics). No chunked transfer, no TLS, no
+multipart — uploads are a single ``application/x-tar`` body. Kept
+dependency-free on purpose: the serve subsystem must not add any hard
+dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Framing limits — requests beyond these are rejected, not buffered.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 100
+DEFAULT_MAX_BODY = 256 * 1024 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request failure with a definite HTTP status and a structured
+    JSON body (``{"error": code, "message": ..., **extra}``)."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 **extra: Any) -> None:
+        self.status = status
+        self.code = code
+        self.message = message
+        self.extra = extra
+        super().__init__(f"{status} {code}: {message}")
+
+    def body(self) -> Dict[str, Any]:
+        doc = {"error": self.code, "message": self.message}
+        doc.update(self.extra)
+        return doc
+
+
+class Request:
+    """One parsed request: method, split target, lowercase headers, body."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str,
+                 headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.target = target
+        split = urlsplit(target)
+        self.path = unquote(split.path) or "/"
+        self.query: Dict[str, str] = dict(parse_qsl(split.query))
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as JSON; empty bodies decode to ``{}``."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, "bad_json",
+                            f"request body is not valid JSON: {exc}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request({self.method} {self.target})"
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    line = await reader.readline()
+    if len(line) > limit:
+        raise HttpError(400, "line_too_long", "request line or header "
+                        f"exceeds {limit} bytes")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int = DEFAULT_MAX_BODY,
+                       ) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before the request line (the peer
+    closed a keep-alive connection); raises :class:`HttpError` on
+    malformed or oversized input and ``asyncio.IncompleteReadError`` on a
+    connection torn down mid-request.
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, "bad_request_line",
+                        f"malformed request line {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad_version",
+                        f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, MAX_HEADER_LINE)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too_many_headers",
+                            f"more than {MAX_HEADERS} headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "bad_header", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(411, "length_required",
+                        "chunked bodies are not supported; send "
+                        "Content-Length")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, "bad_length",
+                        f"malformed Content-Length {length_text!r}")
+    if length < 0:
+        raise HttpError(400, "bad_length", "negative Content-Length")
+    if length > max_body:
+        raise HttpError(413, "body_too_large",
+                        f"body of {length} bytes exceeds the {max_body} "
+                        "byte limit")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method.upper(), target, headers, body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json",
+                   keep_alive: bool = True,
+                   extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    """Serialize one response, Content-Length framed."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_response(status: int, doc: Any, keep_alive: bool = True,
+                  ) -> bytes:
+    body = (json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8") + b"\n")
+    return response_bytes(status, body, "application/json", keep_alive)
+
+
+def parse_int(value: str, name: str, minimum: Optional[int] = None) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise HttpError(400, "bad_parameter",
+                        f"{name} must be an integer, got {value!r}")
+    if minimum is not None and parsed < minimum:
+        raise HttpError(400, "bad_parameter",
+                        f"{name} must be >= {minimum}, got {parsed}")
+    return parsed
+
+
+def parse_float(value: str, name: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise HttpError(400, "bad_parameter",
+                        f"{name} must be a number, got {value!r}")

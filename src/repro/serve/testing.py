@@ -1,0 +1,115 @@
+"""Threaded harness running a :class:`ReproServer` on its own event loop.
+
+Tests, the load benchmark, and the CI smoke job all need a live server
+they can hit synchronously with ``http.client`` from the calling thread;
+this wraps the asyncio lifecycle (own loop, own thread, clean shutdown)
+so none of them reimplement it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.app import ReproServer
+
+
+class ServerThread:
+    """Run a server in a background thread; usable as a context manager.
+
+    ::
+
+        with ServerThread(catalog=catalog) as srv:
+            status, doc = srv.request("GET", "/runs")
+    """
+
+    def __init__(self, server: Optional[ReproServer] = None,
+                 **server_kwargs: Any) -> None:
+        self.server = server if server is not None \
+            else ReproServer(**server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+
+        def runner() -> None:
+            loop = self._loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.aclose())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None \
+                and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def request(self, method: str, path: str,
+                body: Optional[Any] = None,
+                headers: Optional[Dict[str, str]] = None,
+                raw_body: Optional[bytes] = None,
+                timeout: float = 60.0) -> Tuple[int, Any]:
+        """One synchronous request; JSON responses decode to objects.
+
+        ``body`` (JSON-encoded) and ``raw_body`` (sent as-is) are
+        mutually exclusive.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+        try:
+            payload: Optional[bytes] = raw_body
+            send_headers = dict(headers or {})
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers.setdefault("Content-Type", "application/json")
+            conn.request(method, path, body=payload, headers=send_headers)
+            response = conn.getresponse()
+            data = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if content_type.startswith("application/json"):
+                return response.status, json.loads(data.decode("utf-8"))
+            return response.status, data
+        finally:
+            conn.close()

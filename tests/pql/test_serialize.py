@@ -1,0 +1,180 @@
+"""Tests for the shared result serializer: canonical order, JSON shape,
+and pagination cursors (satellite of the serve subsystem)."""
+
+import json
+
+import pytest
+
+from repro import Ariadne, SSSP
+from repro.core import queries as Q
+from repro.graph.generators import web_graph, with_random_weights
+from repro.pql.serialize import (
+    canonical_json,
+    decode_cursor,
+    encode_cursor,
+    flatten_result,
+    jsonable_row,
+    jsonable_value,
+    ordered_rows,
+    paginate,
+    result_digest,
+    result_to_dict,
+    row_sort_key,
+)
+from repro.runtime.offline import run_layered, run_naive
+
+
+@pytest.fixture(scope="module")
+def capture():
+    graph = with_random_weights(
+        web_graph(50, avg_degree=4, target_diameter=7, seed=23), seed=23
+    )
+    return Ariadne(graph, SSSP(source=0)).capture()
+
+
+def lineage_params(store):
+    """A (alpha, sigma) pair with a real backward lineage: the smallest
+    vertex updated at the last superstep."""
+    sigma = store.max_superstep
+    alpha = min(x for x, i in store.rows("superstep") if i == sigma)
+    return {"alpha": alpha, "sigma": sigma}
+
+
+@pytest.fixture(scope="module")
+def result(capture):
+    return run_layered(
+        capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+        params=lineage_params(capture.store),
+    )
+
+
+class TestCanonicalOrder:
+    def test_rows_are_sorted_by_repr(self, result):
+        for relation in result.relations():
+            rows = result.rows(relation)
+            assert rows == sorted(rows, key=row_sort_key)
+
+    def test_ordered_rows_handles_mixed_types(self):
+        rows = [(2, "b"), (1, 0.5), (1, 10), ("a", 1)]
+        out = ordered_rows(rows)
+        assert out == sorted(rows, key=repr)
+        # Deterministic: same input in any order, same output.
+        assert ordered_rows(reversed(rows)) == out
+
+    def test_indexed_and_scan_order_agree(self, capture):
+        """The pinned total order holds across access paths (no-index
+        scan vs hash probes) and across evaluation drivers."""
+        params = lineage_params(capture.store)
+        runs = [
+            run_layered(capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                        params=params, use_index=True),
+            run_layered(capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                        params=params, use_index=False),
+            run_naive(capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                      params=params, use_index=True),
+            run_naive(capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                      params=params, use_index=False),
+        ]
+        baseline = result_to_dict(runs[0])
+        baseline.pop("mode")
+        for other in runs[1:]:
+            doc = result_to_dict(other)
+            doc.pop("mode")
+            assert doc == baseline
+
+
+class TestJsonShape:
+    def test_jsonable_value_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert jsonable_value(value) == value
+
+    def test_jsonable_value_recurses_and_degrades(self):
+        assert jsonable_value((1, (2.0, "a"))) == [1, [2.0, "a"]]
+        assert jsonable_value({1}) == repr({1})
+
+    def test_jsonable_row(self):
+        assert jsonable_row((1, 2.5, "v")) == [1, 2.5, "v"]
+
+    def test_result_to_dict_is_json_safe_and_deterministic(self, result):
+        doc = result_to_dict(result)
+        encoded = canonical_json(doc)
+        assert json.loads(encoded) == doc
+        assert canonical_json(result_to_dict(result)) == encoded
+        assert set(doc) == {"mode", "derivations", "supersteps", "relations"}
+        for rel in doc["relations"].values():
+            assert rel["count"] == len(rel["rows"])
+
+    def test_no_timings_in_result_dict(self, result):
+        text = canonical_json(result_to_dict(result))
+        assert "wall_seconds" not in text
+
+    def test_digest_tracks_content(self, result):
+        assert result_digest(result) == result_digest(result)
+        assert len(result_digest(result)) == 16
+
+
+class TestCursors:
+    def test_round_trip(self):
+        cursor = encode_cursor(42, "abcd" * 4)
+        assert decode_cursor(cursor) == (42, "abcd" * 4)
+
+    @pytest.mark.parametrize("garbage", [
+        "", "!!!", "aGVsbG8=",  # valid base64, not JSON-cursor shaped
+        encode_cursor(0, "d")[:-4] + "AAAA",
+    ])
+    def test_garbage_rejected(self, garbage):
+        with pytest.raises(ValueError):
+            decode_cursor(garbage)
+
+    def test_negative_offset_rejected(self):
+        import base64
+        payload = canonical_json({"v": 1, "offset": -1, "digest": "d"})
+        cursor = base64.urlsafe_b64encode(payload.encode()).decode()
+        with pytest.raises(ValueError):
+            decode_cursor(cursor)
+
+
+class TestPaginate:
+    def test_walk_covers_all_rows_in_order(self, result):
+        flat = flatten_result(result)
+        assert flat, "fixture query should produce rows"
+        seen = []
+        cursor = None
+        while True:
+            page = paginate(result, 3, cursor)
+            assert page["total_rows"] == len(flat)
+            seen.extend((rel, tuple(map(tuple_safe, row)))
+                        for rel, row in page["rows"])
+            if page["next_cursor"] is None:
+                break
+            cursor = page["next_cursor"]
+        assert len(seen) == len(flat)
+        assert [list(row) for _rel, row in flat] == \
+            [[unwrap(v) for v in row] for _rel, row in seen]
+
+    def test_stale_cursor_raises(self, result, capture):
+        cursor = paginate(result, 2)["next_cursor"]
+        other = run_layered(
+            capture.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+            params={"alpha": 0, "sigma": 0},
+        )
+        with pytest.raises(ValueError, match="stale"):
+            paginate(other, 2, cursor)
+
+    def test_nonpositive_limit_raises(self, result):
+        with pytest.raises(ValueError, match="limit"):
+            paginate(result, 0)
+
+    def test_last_page_has_no_cursor(self, result):
+        total = len(flatten_result(result))
+        page = paginate(result, total)
+        assert page["next_cursor"] is None
+        assert len(page["rows"]) == total
+
+
+def tuple_safe(value):
+    return tuple(value) if isinstance(value, list) else value
+
+
+def unwrap(value):
+    return list(value) if isinstance(value, tuple) else value

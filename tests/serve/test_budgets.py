@@ -1,0 +1,289 @@
+"""Budget enforcement: structured errors for every budget kind, and the
+no-leaked-executor-task guarantee (including under asyncio cancellation)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core import queries as Q
+from repro.errors import BudgetExceededError
+from repro.pql.budget import TICK_STRIDE, QueryBudget
+from repro.runtime.offline import run_layered, run_naive
+from repro.serve.app import ReproServer
+from repro.serve.catalog import RunCatalog
+
+from tests.serve.conftest import run_id_for
+
+
+def lineage_params(store):
+    sigma = store.max_superstep
+    alpha = min(x for x, i in store.rows("superstep") if i == sigma)
+    return {"alpha": alpha, "sigma": sigma}
+
+
+class TestQueryBudgetUnit:
+    def test_validation(self):
+        for bad in (dict(max_depth=0), dict(max_rows=-1),
+                    dict(timeout_seconds=0)):
+            with pytest.raises(ValueError):
+                QueryBudget(**bad)
+
+    def test_depth(self):
+        budget = QueryBudget(max_depth=2).start()
+        budget.note_layer()
+        budget.note_layer()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.note_layer()
+        assert excinfo.value.kind == "depth"
+        assert excinfo.value.to_dict()["limit"] == 2
+
+    def test_check_depth_up_front(self):
+        budget = QueryBudget(max_depth=3).start()
+        budget.check_depth(3)
+        with pytest.raises(BudgetExceededError):
+            budget.check_depth(4)
+
+    def test_rows(self):
+        budget = QueryBudget(max_rows=10).start()
+        budget.add_rows(7)
+        budget.add_rows(3)
+        assert budget.rows == 10
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.add_rows(1)
+        assert excinfo.value.kind == "rows"
+
+    def test_timeout_via_tick_stride(self):
+        budget = QueryBudget(timeout_seconds=0.01).start()
+        time.sleep(0.02)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            for _ in range(TICK_STRIDE + 1):
+                budget.tick()
+        assert excinfo.value.kind == "timeout"
+
+    def test_cancel_trips_next_tick(self):
+        budget = QueryBudget().start()
+        budget.tick()
+        budget.cancel()
+        assert budget.cancelled
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.tick()
+        assert excinfo.value.kind == "cancelled"
+
+    def test_unlimited_budget_never_trips(self):
+        budget = QueryBudget().start()
+        for _ in range(3 * TICK_STRIDE):
+            budget.tick()
+        budget.add_rows(10**9)
+        budget.note_layer()
+
+    def test_describe_is_json_safe(self):
+        budget = QueryBudget(max_depth=4, max_rows=100, timeout_seconds=1.5)
+        assert budget.describe() == {
+            "max_depth": 4, "max_rows": 100, "timeout_seconds": 1.5}
+
+    def test_error_to_dict(self):
+        exc = BudgetExceededError("rows", 5, "derived 6 rows")
+        doc = exc.to_dict()
+        assert doc["error"] == "budget_exceeded"
+        assert doc["kind"] == "rows" and doc["limit"] == 5
+
+
+class TestEvaluatorEnforcement:
+    """Budgets trip inside the offline drivers themselves."""
+
+    def test_layered_depth(self, catalog, sssp_store):
+        entry, _ = catalog.register_path(sssp_store)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_layered(entry.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                        params=lineage_params(entry.store),
+                        budget=QueryBudget(max_depth=1))
+        assert excinfo.value.kind == "depth"
+
+    def test_naive_depth_up_front(self, catalog, sssp_store):
+        entry, _ = catalog.register_path(sssp_store)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_naive(entry.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                      params=lineage_params(entry.store),
+                      budget=QueryBudget(max_depth=1))
+        assert excinfo.value.kind == "depth"
+
+    def test_layered_rows(self, catalog, sssp_store):
+        entry, _ = catalog.register_path(sssp_store)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            run_layered(entry.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                        params=lineage_params(entry.store),
+                        budget=QueryBudget(max_rows=1))
+        assert excinfo.value.kind == "rows"
+
+    def test_ample_budget_result_matches_unbudgeted(self, catalog,
+                                                    sssp_store):
+        entry, _ = catalog.register_path(sssp_store)
+        params = lineage_params(entry.store)
+        free = run_layered(entry.store, Q.BACKWARD_LINEAGE_FULL_QUERY,
+                           params=params)
+        bounded = run_layered(
+            entry.store, Q.BACKWARD_LINEAGE_FULL_QUERY, params=params,
+            budget=QueryBudget(max_depth=10_000, max_rows=10**9,
+                               timeout_seconds=600))
+        for relation in free.relations():
+            assert free.rows(relation) == bounded.rows(relation)
+
+
+class TestServerEnforcement:
+    """HTTP-level budget errors are structured and leak no executor work."""
+
+    def _query(self, server, run_id, body):
+        return server.request("POST", f"/runs/{run_id}/query", body=body)
+
+    def _lineage_body(self, server, run_id):
+        status, doc = server.request("GET", f"/runs/{run_id}")
+        assert status == 200
+        sigma = doc["layers"] - 1
+        return {"query": "query10", "params": {"alpha": 0, "sigma": sigma}}
+
+    def test_depth_budget_is_422(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        body = self._lineage_body(server, run_id)
+        body["budget"] = {"max_depth": 1}
+        status, doc = self._query(server, run_id, body)
+        assert status == 422
+        assert doc["error"] == "budget_exceeded"
+        assert doc["kind"] == "depth" and doc["limit"] == 1
+        assert "message" in doc
+
+    def test_rows_budget_is_422(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        status, doc = self._query(server, run_id, {
+            "query": "query10", "params": params,
+            "budget": {"max_rows": 1},
+        })
+        assert status == 422
+        assert doc["kind"] == "rows"
+
+    def test_timeout_budget_is_408(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        status, doc = self._query(server, run_id, {
+            "query": "query10", "params": params,
+            "budget": {"timeout_seconds": 0.0001},
+        })
+        assert status == 408
+        assert doc["error"] == "budget_exceeded"
+        assert doc["kind"] == "timeout"
+
+    def test_invalid_budget_is_400(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        for bad in ({"max_depth": 0}, {"max_rows": "lots"},
+                    {"bogus_field": 1}):
+            status, doc = self._query(server, run_id, {
+                "query": "query10", "params": {"alpha": 0, "sigma": 0},
+                "budget": bad,
+            })
+            assert status == 400
+            assert doc["error"] == "bad_budget"
+
+    def test_no_executor_leak_after_budget_errors(self, server, catalog,
+                                                  sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        for budget in ({"max_depth": 1}, {"max_rows": 1},
+                       {"timeout_seconds": 0.0001}):
+            status, _ = self._query(server, run_id, {
+                "query": "query10", "params": params, "budget": budget,
+            })
+            assert status in (408, 422)
+        deadline = time.time() + 10
+        while server.server.evals_running and time.time() < deadline:
+            time.sleep(0.01)
+        assert server.server.evals_running == 0
+
+    def test_server_default_budget_applies(self, catalog, sssp_store):
+        from repro.serve.testing import ServerThread
+        catalog.register_path(sssp_store)
+        with ServerThread(catalog=catalog, record_queries=False,
+                          default_max_depth=1) as srv:
+            run_id = run_id_for(catalog, sssp_store)
+            entry = catalog.get(run_id)
+            status, doc = srv.request(
+                "POST", f"/runs/{run_id}/query",
+                body={"query": "query10",
+                      "params": lineage_params(entry.store)})
+            assert status == 422 and doc["kind"] == "depth"
+            # An explicit request budget overrides the server default.
+            status, _ = srv.request(
+                "POST", f"/runs/{run_id}/query",
+                body={"query": "query10",
+                      "params": lineage_params(entry.store),
+                      "budget": {"max_depth": 10_000}})
+            assert status == 200
+
+
+class TestAsyncioCancellation:
+    """Cancelling the awaiting request task revokes the budget and the
+    executor thread unwinds within the grace period."""
+
+    def test_cancelled_request_unwinds_worker(self, catalog, sssp_store):
+        catalog.register_path(sssp_store)
+        server = ReproServer(catalog, record_queries=False)
+
+        async def scenario():
+            budget = server._make_budget({})  # noqa: SLF001
+            running = asyncio.Event()
+            loop = asyncio.get_running_loop()
+
+            def work():
+                loop.call_soon_threadsafe(running.set)
+                while True:  # spins until the revoked budget trips a tick
+                    budget.tick()
+                    time.sleep(0.0005)
+
+            task = asyncio.ensure_future(
+                server._offload(work, budget))  # noqa: SLF001
+            await asyncio.wait_for(running.wait(), 10)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert budget.cancelled
+            return budget
+
+        try:
+            asyncio.run(scenario())
+            deadline = time.time() + 10
+            while server.evals_running and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.evals_running == 0
+        finally:
+            asyncio.run(server.aclose())
+
+    def test_offload_timeout_raises_budget_error(self, catalog, sssp_store):
+        entry, _ = catalog.register_path(sssp_store)
+        server = ReproServer(catalog, record_queries=False)
+
+        async def scenario():
+            budget = QueryBudget(timeout_seconds=0.01)
+
+            def work():
+                # Ignores ticks for a while, then notices the revocation.
+                deadline = time.time() + 5
+                while time.time() < deadline:
+                    budget.tick()
+                    time.sleep(0.001)
+                return "never"
+
+            with pytest.raises(BudgetExceededError) as excinfo:
+                await server._offload(work, budget)  # noqa: SLF001
+            assert excinfo.value.kind == "timeout"
+
+        try:
+            asyncio.run(scenario())
+            deadline = time.time() + 10
+            while server.evals_running and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.evals_running == 0
+        finally:
+            asyncio.run(server.aclose())

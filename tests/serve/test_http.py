@@ -1,0 +1,147 @@
+"""Unit tests for the asyncio HTTP/1.1 framing layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_response,
+    parse_float,
+    parse_int,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes through read_request on a throwaway loop."""
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /runs?limit=5 HTTP/1.1\r\n"
+                        b"Host: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/runs"
+        assert request.query == {"limit": "5"}
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = json.dumps({"path": "/x"}).encode()
+        request = parse(b"POST /runs HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body)
+        assert request.json() == {"path": "/x"}
+
+    def test_percent_decoding_in_path(self):
+        request = parse(b"GET /runs/r1/lineage/%281%2C%202%29 HTTP/1.1\r\n"
+                        b"\r\n")
+        assert request.path == "/runs/r1/lineage/(1, 2)"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close_header(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"BROKEN\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / SPDY/3\r\n\r\n")
+        assert excinfo.value.code == "bad_version"
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\n"
+                  b"Transfer-Encoding: chunked\r\n\r\n")
+        assert excinfo.value.status == 411
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.code == "bad_length"
+
+    def test_body_over_limit_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n",
+                  max_body=10)
+        assert excinfo.value.status == 413
+
+    def test_truncated_body_raises_incomplete_read(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+
+    def test_too_many_headers(self):
+        headers = b"".join(b"X-H%d: v\r\n" % i for i in range(101))
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert excinfo.value.code == "too_many_headers"
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert excinfo.value.code == "bad_header"
+
+
+class TestResponses:
+    def test_response_bytes_framing(self):
+        raw = response_bytes(200, b"hi", "text/plain", keep_alive=False)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_json_response_is_canonical(self):
+        raw = json_response(200, {"b": 1, "a": 2})
+        body = raw.split(b"\r\n\r\n", 1)[1]
+        assert body == b'{"a":2,"b":1}\n'
+
+    def test_unknown_status_reason(self):
+        raw = response_bytes(599, b"")
+        assert raw.startswith(b"HTTP/1.1 599 Unknown")
+
+
+class TestHelpers:
+    def test_request_json_error(self):
+        request = Request("POST", "/x", {}, b"{broken")
+        with pytest.raises(HttpError) as excinfo:
+            request.json()
+        assert excinfo.value.code == "bad_json"
+
+    def test_empty_body_decodes_to_empty_object(self):
+        assert Request("POST", "/x", {}, b"").json() == {}
+
+    def test_parse_int(self):
+        assert parse_int("5", "n") == 5
+        with pytest.raises(HttpError):
+            parse_int("x", "n")
+        with pytest.raises(HttpError):
+            parse_int("0", "n", minimum=1)
+
+    def test_parse_float(self):
+        assert parse_float("0.5", "t") == 0.5
+        with pytest.raises(HttpError):
+            parse_float("soon", "t")
+
+    def test_http_error_body(self):
+        exc = HttpError(404, "unknown_run", "nope", runs=["a"])
+        assert exc.body() == {
+            "error": "unknown_run", "message": "nope", "runs": ["a"]}

@@ -1,0 +1,389 @@
+"""End-to-end server tests over live HTTP, including the differential
+guarantee: server query results are byte-identical to one-shot CLI
+``repro query --json`` output, across stores and under concurrency."""
+
+import io
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tarfile
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.pql.serialize import canonical_json
+from repro.serve.testing import ServerThread
+
+from tests.serve.conftest import run_id_for
+
+
+def lineage_params(store):
+    sigma = store.max_superstep
+    alpha = min(x for x, i in store.rows("superstep") if i == sigma)
+    return {"alpha": alpha, "sigma": sigma}
+
+
+def cli_json(capsys, store, query, params):
+    """Run ``repro query --json`` in-process and return the parsed doc."""
+    argv = ["query", "--store", store, "--query", query, "--json"]
+    for key, value in params.items():
+        argv += ["--param", f"{key}={value}"]
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestBasicEndpoints:
+    def test_index(self, server):
+        status, doc = server.request("GET", "/")
+        assert status == 200
+        assert doc["service"] == "repro-serve"
+        assert "POST /runs/{id}/query" in doc["endpoints"]
+
+    def test_health(self, server):
+        status, doc = server.request("GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok" and doc["runs"] == 2
+
+    def test_metrics_exposition(self, server):
+        server.request("GET", "/runs")
+        status, body = server.request("GET", "/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_catalog_runs 2" in text
+
+    def test_list_and_show(self, server, catalog, sssp_store):
+        status, doc = server.request("GET", "/runs")
+        assert status == 200 and doc["count"] == 2
+        run_id = run_id_for(catalog, sssp_store)
+        status, doc = server.request("GET", f"/runs/{run_id}")
+        assert status == 200
+        assert doc["run_id"] == run_id
+        assert doc["layers"] > 0 and doc["rows"] > 0
+        assert doc["manifest"]["slabs"] > 0
+
+    def test_unknown_run_404(self, server):
+        status, doc = server.request("GET", "/runs/rmissing")
+        assert status == 404
+        assert doc["error"] == "unknown_run"
+        assert len(doc["runs"]) == 2
+
+    def test_unknown_route_404(self, server):
+        status, doc = server.request("GET", "/nope")
+        assert status == 404
+
+    def test_method_not_allowed_405(self, server):
+        status, doc = server.request("DELETE", "/runs")
+        assert status == 405
+        assert doc["error"] == "method_not_allowed"
+
+
+class TestRegistration:
+    def test_register_path_and_idempotency(self, catalog, sssp_store):
+        with ServerThread(catalog=catalog, record_queries=False) as srv:
+            status, doc = srv.request("POST", "/runs",
+                                      body={"path": sssp_store})
+            assert status == 201 and doc["created"]
+            status, doc = srv.request("POST", "/runs",
+                                      body={"path": sssp_store})
+            assert status == 200 and not doc["created"]
+
+    def test_register_bad_body(self, server):
+        status, doc = server.request("POST", "/runs", body={"nope": 1})
+        assert status == 400 and doc["error"] == "bad_register"
+
+    def test_register_missing_store_is_422(self, server, tmp_path):
+        empty = tmp_path / "void"
+        empty.mkdir()
+        status, doc = server.request("POST", "/runs",
+                                     body={"path": str(empty)})
+        assert status == 422
+        assert doc["error"] == "admission_failed"
+        assert doc["problems"]
+
+    def test_register_tar_upload(self, sssp_store, tmp_path):
+        from repro.serve.catalog import RunCatalog
+        catalog = RunCatalog(data_dir=str(tmp_path / "data"))
+        buffer = io.BytesIO()
+        with tarfile.open(fileobj=buffer, mode="w") as tar:
+            for name in sorted(os.listdir(sssp_store)):
+                tar.add(os.path.join(sssp_store, name), arcname=name)
+        with ServerThread(catalog=catalog, record_queries=False) as srv:
+            status, doc = srv.request(
+                "POST", "/runs", raw_body=buffer.getvalue(),
+                headers={"Content-Type": "application/x-tar"})
+            assert status == 201
+            assert doc["run"]["rows"] > 0
+
+
+class TestQueries:
+    def test_full_result_with_named_query(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query",
+            body={"query": "query10",
+                  "params": lineage_params(entry.store)})
+        assert status == 200
+        assert doc["run"] == run_id
+        assert doc["result"]["relations"]["back_lineage"]["count"] > 0
+        assert doc["budget"] == {"max_depth": None, "max_rows": None,
+                                 "timeout_seconds": 30.0}
+
+    def test_inline_query(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query",
+            body={"query": "out(X, I) :- superstep(X, I)."})
+        assert status == 200
+        assert doc["result"]["relations"]["out"]["count"] > 0
+
+    def test_plan_cache_hit_on_repeat(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        body = {"query": "query10",
+                "params": lineage_params(entry.store)}
+        server.request("POST", f"/runs/{run_id}/query", body=body)
+        status, doc = server.request("POST", f"/runs/{run_id}/query",
+                                     body=body)
+        assert status == 200
+        assert doc["plan_cache"] == "hit"
+
+    def test_query_error_is_structured(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query",
+            body={"query": "broken(X :- nope"})
+        assert status == 400
+        assert doc["error"] == "query_error"
+        assert doc["type"]
+
+    def test_bad_bodies(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        cases = [
+            ({}, "bad_query"),
+            ({"query": 7}, "bad_query"),
+            ({"query": "query10", "params": []}, "bad_query"),
+            ({"query": "query10", "mode": "psychic"}, "bad_query"),
+            ({"query": "query10", "limit": -2}, "bad_query"),
+            ({"query": "query10", "cursor": 9}, "bad_query"),
+        ]
+        for body, code in cases:
+            status, doc = server.request(
+                "POST", f"/runs/{run_id}/query", body=body)
+            assert status == 400 and doc["error"] == code, body
+
+
+class TestPagination:
+    def _body(self, catalog, run_id):
+        entry = catalog.get(run_id)
+        return {"query": "query10", "params": lineage_params(entry.store)}
+
+    def test_paginated_walk_matches_full_result(self, server, catalog,
+                                                sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        body = self._body(catalog, run_id)
+        status, full = server.request(
+            "POST", f"/runs/{run_id}/query", body=body)
+        assert status == 200
+        expected = [
+            [relation, row]
+            for relation in sorted(full["result"]["relations"])
+            for row in full["result"]["relations"][relation]["rows"]
+        ]
+        collected = []
+        cursor = None
+        while True:
+            page_body = dict(body, limit=7)
+            if cursor:
+                page_body["cursor"] = cursor
+            status, doc = server.request(
+                "POST", f"/runs/{run_id}/query", body=page_body)
+            assert status == 200
+            page = doc["page"]
+            assert page["total_rows"] == len(expected)
+            # Paged responses carry counts, not row bodies, in "result".
+            assert "rows" not in next(
+                iter(doc["result"]["relations"].values()))
+            collected.extend(page["rows"])
+            if page["next_cursor"] is None:
+                break
+            cursor = page["next_cursor"]
+        assert collected == expected
+
+    def test_stale_cursor_is_409(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        body = dict(self._body(catalog, run_id), limit=2)
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query", body=body)
+        cursor = doc["page"]["next_cursor"]
+        assert cursor
+        other = dict(body, params={"alpha": 0, "sigma": 0}, cursor=cursor)
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query", body=other)
+        assert status == 409
+        assert doc["error"] == "bad_cursor"
+
+    def test_garbage_cursor_is_400(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        body = dict(self._body(catalog, run_id), limit=2, cursor="!!!")
+        status, doc = server.request(
+            "POST", f"/runs/{run_id}/query", body=body)
+        assert status == 400
+        assert doc["error"] == "bad_cursor"
+
+
+class TestLineage:
+    def test_backward_lineage(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        status, doc = server.request(
+            "GET", f"/runs/{run_id}/lineage/{params['alpha']}"
+                   f"?sigma={params['sigma']}")
+        assert status == 200
+        assert doc["direction"] == "backward"
+        assert doc["vertex"] == params["alpha"]
+        assert doc["result"]["relations"]["back_lineage"]["count"] > 0
+
+    def test_forward_lineage(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        status, doc = server.request(
+            "GET", f"/runs/{run_id}/lineage/0?direction=forward&sigma=0")
+        assert status == 200
+        assert doc["direction"] == "forward"
+
+    def test_lineage_depth_budget(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        status, doc = server.request(
+            "GET", f"/runs/{run_id}/lineage/{params['alpha']}"
+                   f"?sigma={params['sigma']}&depth=1")
+        assert status == 422
+        assert doc["kind"] == "depth"
+
+    def test_lineage_bad_direction(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        status, doc = server.request(
+            "GET", f"/runs/{run_id}/lineage/0?direction=sideways")
+        assert status == 400
+
+    def test_lineage_pagination(self, server, catalog, sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        params = lineage_params(entry.store)
+        status, doc = server.request(
+            "GET", f"/runs/{run_id}/lineage/{params['alpha']}"
+                   f"?sigma={params['sigma']}&limit=3")
+        assert status == 200
+        assert len(doc["page"]["rows"]) <= 3
+        assert doc["page"]["total_rows"] > 0
+
+
+class TestDifferentialCLI:
+    """The acceptance guarantee: concurrent HTTP queries over two open
+    stores return byte-identical results to one-shot CLI invocations."""
+
+    def test_server_matches_cli_byte_for_byte(self, server, catalog,
+                                              sssp_store, pagerank_store,
+                                              capsys):
+        cases = []
+        for store in (sssp_store, pagerank_store):
+            run_id = run_id_for(catalog, store)
+            entry = catalog.get(run_id)
+            cases.append((store, run_id, lineage_params(entry.store)))
+            cases.append((store, run_id, {"alpha": 0, "sigma": 0}))
+
+        expected = {}
+        for store, run_id, params in cases:
+            doc = cli_json(capsys, store, "query10", params)
+            expected[(run_id, canonical_json(params))] = \
+                canonical_json(doc["result"])
+
+        outputs = {}
+        errors = []
+
+        def hit(run_id, params):
+            try:
+                status, doc = server.request(
+                    "POST", f"/runs/{run_id}/query",
+                    body={"query": "query10", "params": params})
+                assert status == 200, doc
+                outputs[(run_id, canonical_json(params))] = \
+                    canonical_json(doc["result"])
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(run_id, params))
+            for _store, run_id, params in cases
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert outputs == expected
+
+
+class TestLedgerRecording:
+    def test_served_query_appends_parent_linked_record(self, sssp_store,
+                                                       tmp_path):
+        from repro.obs.ledger import RunLedger
+        from repro.serve.catalog import RunCatalog
+        store_copy = str(tmp_path / "ledgered")
+        shutil.copytree(sssp_store, store_copy)
+        catalog = RunCatalog()
+        with ServerThread(catalog=catalog, record_queries=True) as srv:
+            status, doc = srv.request("POST", "/runs",
+                                      body={"path": store_copy})
+            run_id = doc["run"]["run_id"]
+            status, _ = srv.request(
+                "POST", f"/runs/{run_id}/query",
+                body={"query": "query10",
+                      "params": {"alpha": 0, "sigma": 0}})
+            assert status == 200
+        records = [r for r in RunLedger(store_copy).records()
+                   if r.get("command") == "serve-query"]
+        assert records
+        assert records[-1]["parent_run_id"] == run_id
+
+
+class TestServeCLI:
+    def test_repro_serve_subprocess(self, sssp_store, tmp_path):
+        """`repro serve` comes up, writes the ready file, and answers."""
+        import http.client
+        ready = tmp_path / "ready"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--store", sssp_store, "--port", "0",
+             "--ready-file", str(ready), "--no-query-ledger"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.time() + 30
+            while not ready.exists() and time.time() < deadline:
+                if proc.poll() is not None:
+                    raise AssertionError(
+                        f"server exited early: "
+                        f"{proc.stderr.read().decode()}")
+                time.sleep(0.05)
+            assert ready.exists(), "ready file never appeared"
+            host, port = ready.read_text().strip().rsplit(":", 1)
+            conn = http.client.HTTPConnection(host, int(port), timeout=10)
+            conn.request("GET", "/runs")
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 200
+            assert doc["count"] == 1
+            conn.close()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
