@@ -78,6 +78,13 @@ class EngineConfig:
             (default) or ``"raw"`` (uncompressed frames). Rebuilt stores
             are identical under both; the CLI switch is
             ``--spill-compression``.
+        spill_format: on-disk layout for sealed layers — ``"columnar"``
+            (default: ARSC per-column typed segments readable through
+            ``mmap`` without loading whole layers, see
+            :mod:`repro.provenance.columnar`) or ``"pickle"`` (the ARSL
+            framed-pickle slabs of earlier releases). Query results are
+            byte-identical under both; only out-of-core behavior and
+            reopen cost differ. The CLI switch is ``--spill-format``.
         ledger_dir: directory of an append-only run ledger
             (``repro.obs.ledger``). When set, library entry points
             (:meth:`Ariadne.baseline`, :func:`run_online`,
@@ -102,6 +109,7 @@ class EngineConfig:
     query_index: bool = True
     spill_async: bool = True
     spill_compression: str = "zlib"
+    spill_format: str = "columnar"
     ledger_dir: Optional[str] = None
 
     def validate(self) -> None:
@@ -129,4 +137,9 @@ class EngineConfig:
             raise EngineError(
                 f"unknown spill compression {self.spill_compression!r} "
                 "(raw | zlib)"
+            )
+        if self.spill_format not in ("columnar", "pickle"):
+            raise EngineError(
+                f"unknown spill format {self.spill_format!r} "
+                "(columnar | pickle)"
             )

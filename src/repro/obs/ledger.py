@@ -358,12 +358,18 @@ def store_fingerprint(spill: Any) -> Dict[str, Any]:
     """The sealed store's identity as carried in a capture record: the
     per-slab hashes the manifest was stamped with, plus their digest."""
     slabs = {name: dict(entry) for name, entry in spill.slab_digests.items()}
-    return {
+    fingerprint = {
         "directory": os.path.abspath(spill.directory),
         "slabs": slabs,
         "manifest_sha256": manifest_digest(slabs),
         "compression": spill.compression,
+        "format": spill.store_format() if hasattr(spill, "store_format")
+        else "pickle",
     }
+    migrated_from = getattr(spill, "migrated_from", None)
+    if migrated_from:
+        fingerprint["migrated_from"] = migrated_from
+    return fingerprint
 
 
 def manifest_digest(slabs: Mapping[str, Mapping[str, Any]]) -> str:

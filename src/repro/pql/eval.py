@@ -330,6 +330,11 @@ def _candidate_rows(step: ScanStep, env: Env, db: Database,
     partition — falls back to the time-sliced or full partition scan.
     Candidates are narrowing-only: `_match` still validates every row, so
     both paths produce identical results.
+
+    The backend behind ``db`` may be an in-memory store (RowIndex maps)
+    or a sealed columnar view, where this same probe call decodes only
+    the key and pattern columns of mmap'd slabs; the evaluator cannot
+    tell the difference because both honor the narrowing-only contract.
     """
     op, payload = step.arg_ops[0]
     if op == CHECK_VAR:

@@ -19,6 +19,14 @@ remembers how much of the log it has folded in (``built``), and the next
 probe folds exactly the suffix that landed since — the semi-naive delta.
 Storage layers whose logs can shrink or reorder (pruned windows, aggregate
 groups) must drop or bypass their index instead of patching it.
+
+The sealed columnar reader (:mod:`repro.provenance.columnar`) mirrors
+this contract on disk: a slab builds its probe maps from only the
+columns a pattern binds, honors the same ``MIN_INDEX_ROWS`` threshold
+(returning ``None`` so the evaluator scans small partitions), and keeps
+the candidate-narrowing guarantee — which is why indexed evaluation over
+an mmap'd store is byte-identical to evaluation over this in-memory
+index.
 """
 
 from __future__ import annotations

@@ -26,6 +26,21 @@ Two mechanisms keep sealing off the capture hot path:
   default (``compression="zlib"``; ``"raw"`` skips the codec). Readers
   auto-detect the frame, and slabs written by older versions (one bare
   pickle per file) still load.
+
+Two slab formats share the file naming and the manifest/digest machinery
+(``format="columnar"`` is the default, ``"pickle"`` keeps the framed ARSL
+pickles):
+
+* **Columnar ARSC slabs** (:mod:`repro.provenance.columnar`): per-relation,
+  per-column typed segments behind an offset-indexed footer. Readers mmap
+  the slab and decode only the columns a query touches
+  (:class:`~repro.provenance.store.SealedStoreView`), which is what makes
+  sealed captures larger than RAM queryable. ``load_layer`` /
+  ``load_static`` / :func:`rebuild_store` still fully materialize — they
+  are the compatibility path.
+* Readers dispatch per file on the magic bytes, so mixed stores (e.g. a
+  partially migrated capture) load fine; :func:`migrate_store` rewrites a
+  store in place between formats.
 """
 
 from __future__ import annotations
@@ -47,6 +62,12 @@ from repro.errors import ProvenanceError
 from repro.obs.log import get_logger
 from repro.obs.metrics import BYTES_BUCKETS, SECONDS_BUCKETS, get_registry
 from repro.obs.trace import PHASE_SPILL, get_tracer
+from repro.provenance.columnar import (
+    ColumnarSlab,
+    encode_columnar_slab,
+    is_columnar,
+    validate_columnar_file,
+)
 from repro.provenance.store import ProvenanceStore, Row
 
 logger = get_logger("provenance.spill")
@@ -60,8 +81,16 @@ SPILL_COMPRESSIONS: Tuple[str, ...] = ("raw", "zlib")
 _COMPRESSION_CODES = {"raw": 0, "zlib": 1}
 _CODE_COMPRESSIONS = {code: name for name, code in _COMPRESSION_CODES.items()}
 
+#: Writable slab formats. ``"columnar"`` seals ARSC slabs
+#: (:mod:`repro.provenance.columnar`); ``"pickle"`` seals framed ARSL
+#: pickles. Readers auto-detect per file, so the setting only matters when
+#: sealing. Bare-pickle slabs from before the frame read as ``"legacy"``.
+SPILL_FORMATS: Tuple[str, ...] = ("columnar", "pickle")
+FORMAT_LEGACY = "legacy"
+
 DEFAULT_ASYNC = True
 DEFAULT_COMPRESSION = "zlib"
+DEFAULT_FORMAT = "columnar"
 
 #: Store manifest: per-slab content hashes stamped at seal time, the basis
 #: for ``repro audit verify`` (see ``repro.obs.ledger``).
@@ -232,11 +261,17 @@ class SpillManager:
         *,
         async_writes: bool = DEFAULT_ASYNC,
         compression: str = DEFAULT_COMPRESSION,
+        format: str = DEFAULT_FORMAT,
     ) -> None:
         if compression not in _COMPRESSION_CODES:
             raise ProvenanceError(
                 f"unknown spill compression {compression!r} "
                 f"({' | '.join(SPILL_COMPRESSIONS)})"
+            )
+        if format not in SPILL_FORMATS:
+            raise ProvenanceError(
+                f"unknown spill format {format!r} "
+                f"({' | '.join(SPILL_FORMATS)})"
             )
         self.store = store
         self._own_dir = directory is None
@@ -245,9 +280,20 @@ class SpillManager:
         self.memory_budget_bytes = memory_budget_bytes
         self.async_writes = async_writes
         self.compression = compression
+        self.format = format
         self._slabs: Dict[int, str] = {}
         self._static_path: Optional[str] = None
         self.bytes_spilled = 0
+        # Per-slab on-disk format (basename -> "columnar"|"pickle"|"legacy")
+        # detected by :meth:`open`; empty for a manager that seals itself
+        # (everything it writes is ``self.format``).
+        self.slab_formats: Dict[str, str] = {}
+        # Open mmap handles for columnar slabs (key: superstep or
+        # "static"), shared by every SealedStoreView over this manager.
+        self._open_slabs: Dict[Any, ColumnarSlab] = {}
+        #: Run id a migration rewrote this store under (manifest bookkeeping
+        #: only; set by :func:`migrate_store`).
+        self.migrated_from: Optional[str] = None
         # Per-slab content hashes (basename -> {"sha256", "bytes"}),
         # computed on the writer thread while the blob is still in memory
         # and stamped into MANIFEST_FILENAME by seal_all(). Re-seals
@@ -293,13 +339,32 @@ class SpillManager:
             if name.startswith("layer-") and name.endswith(".slab"):
                 superstep = int(name[len("layer-"):-len(".slab")])
                 manager._slabs[superstep] = os.path.join(directory, name)
+        # Detect (and structurally validate) every slab up front so a
+        # truncated or corrupt file surfaces here as a clear
+        # ProvenanceError naming the format and path, not as a raw
+        # struct.error/EOFError deep inside the first query.
+        for path in [static, *manager._slabs.values()]:
+            fmt = detect_slab_format(path)
+            manager.slab_formats[os.path.basename(path)] = fmt
         manifest = read_manifest(directory)
         if manifest is not None:
             manager.slab_digests = {
                 str(k): dict(v) for k, v in manifest.get("slabs", {}).items()
             }
             manager.run_id = manifest.get("run_id")
+            if manifest.get("format") in SPILL_FORMATS:
+                manager.format = manifest["format"]
         return manager
+
+    def store_format(self) -> str:
+        """The on-disk format of this store: one of ``SPILL_FORMATS``,
+        ``"legacy"``, or ``"mixed"`` when slabs disagree."""
+        formats = set(self.slab_formats.values())
+        if not formats:
+            return self.format  # self-sealed: everything we wrote
+        if len(formats) == 1:
+            return next(iter(formats))
+        return "mixed"
 
     def slab_path(self, superstep: int) -> str:
         return os.path.join(self.directory, f"layer-{superstep:06d}.slab")
@@ -340,7 +405,12 @@ class SpillManager:
         asynchronous, inline otherwise."""
         key, path, chunks = job
         start = time.perf_counter()
-        blob, raw = _encode_slab(chunks, self.compression)
+        if self.format == "columnar":
+            blob, raw = encode_columnar_slab(
+                chunks, self.compression, meta_key=_META_KEY,
+            )
+        else:
+            blob, raw = _encode_slab(chunks, self.compression)
         # Hashed here, not at verify time: the blob is already in memory
         # on the writer thread, so the manifest digest is nearly free.
         digest = hashlib.sha256(blob).hexdigest()
@@ -512,9 +582,12 @@ class SpillManager:
             "manifest_version": MANIFEST_VERSION,
             "run_id": self.run_id,
             "compression": self.compression,
+            "format": self.format,
             "slabs": {name: self.slab_digests[name]
                       for name in sorted(self.slab_digests)},
         }
+        if self.migrated_from is not None:
+            manifest["migrated_from"] = self.migrated_from
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, sort_keys=True, indent=2)
             fh.write("\n")
@@ -526,13 +599,31 @@ class SpillManager:
     def _read_slab(self, path: str) -> Tuple[Optional[Dict[str, Any]], Any, int]:
         """Returns ``(chunks, legacy_payload, size)``; exactly one of
         ``chunks`` / ``legacy_payload`` is set (bare-pickle slabs written
-        before the frame format decode to the latter)."""
+        before the frame format decode to the latter). This is the
+        full-materialization path; columnar slabs are decoded whole here —
+        lazy access goes through :meth:`open_columnar_slab` instead."""
         with open(path, "rb") as fh:
             data = fh.read()
-        chunks = _decode_slab(data)
+        if is_columnar(data):
+            with ColumnarSlab(path, data=data) as slab:
+                return slab.to_chunks(_META_KEY), None, len(data)
+        try:
+            chunks = _decode_slab(data)
+        except (struct.error, EOFError, UnicodeDecodeError,
+                zlib.error, pickle.UnpicklingError) as exc:
+            raise ProvenanceError(
+                f"framed (ARSL) slab {path}: corrupt or truncated: {exc}"
+            ) from None
         if chunks is not None:
             return chunks, None, len(data)
-        return None, pickle.loads(data), len(data)
+        try:
+            return None, pickle.loads(data), len(data)
+        except (pickle.UnpicklingError, EOFError, ValueError,
+                IndexError) as exc:
+            raise ProvenanceError(
+                f"legacy (bare pickle) slab {path}: corrupt or truncated: "
+                f"{exc}"
+            ) from None
 
     def load_static(self) -> Dict[str, Any]:
         with self._read_lock:
@@ -572,6 +663,39 @@ class SpillManager:
             _spill_metrics().count_read(size)
             return chunks if chunks is not None else legacy
 
+    def open_columnar_slab(self, key: Any) -> ColumnarSlab:
+        """A shared mmap handle for one columnar slab (``key`` is a
+        superstep, or ``"static"``). Opening reads only the footer; the
+        handle memoizes everything it decodes, so one manager serves any
+        number of :class:`~repro.provenance.store.SealedStoreView` readers.
+        Raises :class:`ProvenanceError` when the slab is not ARSC."""
+        with self._read_lock:
+            self.flush()
+            slab = self._open_slabs.get(key)
+            if slab is None:
+                if key == "static":
+                    path = self._static_path
+                else:
+                    path = self._slabs.get(key)
+                if path is None:
+                    raise ProvenanceError(f"slab {key!r} was never sealed")
+                slab = ColumnarSlab(path)
+                self._open_slabs[key] = slab
+            return slab
+
+    def release_slabs(self) -> None:
+        """Close every cached columnar slab handle (drops their mmaps and
+        memoized decode state)."""
+        for slab in self._open_slabs.values():
+            slab.close()
+        self._open_slabs.clear()
+
+    def decoded_bytes(self) -> int:
+        """Uncompressed bytes decoded so far across open columnar slabs —
+        what lazy readers actually materialized, as opposed to
+        :meth:`total_sealed_bytes` (what is on disk)."""
+        return sum(s.decoded_bytes for s in self._open_slabs.values())
+
     def layer_size(self, superstep: int) -> int:
         """On-disk bytes of one sealed layer slab."""
         with self._read_lock:
@@ -607,6 +731,7 @@ class SpillManager:
         :class:`ProvenanceError`) after cleanup completes."""
         self._shutdown_writer()
         self._drain_completed()
+        self.release_slabs()
         error = self._writer_error
         self._writer_error = None
         paths = list(self._slabs.values())
@@ -639,6 +764,160 @@ class SpillManager:
         self.close()
 
 
+def detect_slab_format(path: str) -> str:
+    """The on-disk format of one slab file, with a cheap structural check.
+
+    Reads a few bytes (plus the ARSC trailer for columnar slabs) and
+    raises :class:`ProvenanceError` naming the format and path when the
+    file is empty, truncated, or carries a corrupt footer — the read-side
+    contract :meth:`SpillManager.open` relies on.
+    """
+    try:
+        with open(path, "rb") as fh:
+            prefix = fh.read(8)
+    except OSError as exc:
+        raise ProvenanceError(f"slab {path}: unreadable: {exc}") from None
+    if not prefix:
+        raise ProvenanceError(f"slab {path}: empty file")
+    if is_columnar(prefix):
+        validate_columnar_file(path)
+        return "columnar"
+    if prefix[:4] == _MAGIC:
+        _validate_framed_file(path)
+        return "pickle"
+    return FORMAT_LEGACY
+
+
+def _validate_framed_file(path: str) -> None:
+    """Structural check of an ARSL slab without reading any payload.
+
+    Walks the length-prefixed (key, payload) frame with seeks — a few
+    bytes per chunk — and raises :class:`ProvenanceError` when the file
+    is truncated mid-frame or carries trailing garbage. Payload bytes are
+    never read, so this stays cheap enough for :meth:`SpillManager.open`
+    to run on every slab.
+    """
+    def _corrupt(detail: str) -> "ProvenanceError":
+        return ProvenanceError(f"framed (ARSL) slab {path}: {detail}")
+
+    size = os.path.getsize(path)
+    with open(path, "rb") as fh:
+        header = fh.read(10)
+        if len(header) < 10:
+            raise _corrupt("truncated header")
+        if header[4] != _FORMAT_VERSION:
+            raise _corrupt(f"unsupported format version {header[4]}")
+        if header[5] not in _CODE_COMPRESSIONS:
+            raise _corrupt(f"unsupported compression code {header[5]}")
+        (nchunks,) = _U32.unpack_from(header, 6)
+        pos = 10
+        for index in range(nchunks):
+            lengths = fh.read(4)
+            if len(lengths) < 4:
+                raise _corrupt(f"truncated at chunk {index} key length")
+            (key_len,) = _U32.unpack(lengths)
+            pos += 4 + key_len
+            if pos + 4 > size:
+                raise _corrupt(f"truncated at chunk {index} key")
+            fh.seek(pos)
+            (payload_len,) = _U32.unpack(fh.read(4))
+            pos += 4 + payload_len
+            if pos > size:
+                raise _corrupt(f"truncated at chunk {index} payload")
+            fh.seek(pos)
+        if pos != size:
+            raise _corrupt(f"{size - pos} trailing bytes after frame")
+
+
+def migrate_store(
+    directory: str,
+    to_format: str = DEFAULT_FORMAT,
+    *,
+    run_id: Optional[str] = None,
+    compression: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Rewrite a sealed store's slabs in place into ``to_format``.
+
+    Every slab (static + layers) is fully decoded and re-encoded (atomic
+    per-file rename), the manifest is re-stamped with the new digests, the
+    new format, and — when ``run_id`` is given — the migrating run's id
+    with ``migrated_from`` pointing at the original capture's run id. The
+    caller (``repro store migrate``) appends a ledger record parent-linked
+    to the old run so ``repro audit verify`` can resolve the re-stamped
+    manifest; see :mod:`repro.obs.ledger`.
+
+    Returns a report: per-slab formats and sizes before/after, plus the
+    manager (``"spill"``) for fingerprinting.
+    """
+    if to_format not in SPILL_FORMATS:
+        raise ProvenanceError(
+            f"unknown spill format {to_format!r} "
+            f"({' | '.join(SPILL_FORMATS)})"
+        )
+    spill = SpillManager.open(directory)
+    manifest = read_manifest(directory) or {}
+    comp = compression or manifest.get("compression") or DEFAULT_COMPRESSION
+    if comp not in _COMPRESSION_CODES:
+        raise ProvenanceError(f"unknown spill compression {comp!r}")
+    old_run_id = spill.run_id
+    jobs: List[Tuple[Any, str]] = [("static", spill._static_path)]
+    jobs.extend((t, spill._slabs[t]) for t in sorted(spill._slabs))
+    slabs_report: Dict[str, Dict[str, Any]] = {}
+    digests: Dict[str, Dict[str, Any]] = {}
+    for key, path in jobs:
+        name = os.path.basename(path)
+        from_format = spill.slab_formats.get(name, FORMAT_LEGACY)
+        chunks, legacy, size_before = spill._read_slab(path)
+        if chunks is None:
+            # Bare-pickle slabs: a layer file is already chunk-shaped;
+            # the static file is load_static()'s return shape.
+            if key == "static":
+                chunks = dict(legacy["relations"])
+                chunks[_META_KEY] = {
+                    "schemas": legacy["schemas"],
+                    "num_layers": legacy["num_layers"],
+                }
+            else:
+                chunks = legacy
+        if to_format == "columnar":
+            blob, _raw = encode_columnar_slab(chunks, comp, meta_key=_META_KEY)
+        else:
+            blob, _raw = _encode_slab(chunks, comp)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+        digests[name] = {
+            "sha256": hashlib.sha256(blob).hexdigest(), "bytes": len(blob),
+        }
+        spill.slab_formats[name] = to_format
+        slabs_report[name] = {
+            "from_format": from_format, "to_format": to_format,
+            "bytes_before": size_before, "bytes_after": len(blob),
+        }
+    spill.slab_digests = digests
+    spill.compression = comp
+    spill.format = to_format
+    if run_id is not None:
+        spill.migrated_from = old_run_id
+        spill.run_id = run_id
+    spill.write_manifest()
+    logger.info(
+        "migrated %d slab(s) in %s to %s", len(jobs), directory, to_format,
+    )
+    return {
+        "directory": directory,
+        "to_format": to_format,
+        "compression": comp,
+        "from_run_id": old_run_id,
+        "run_id": spill.run_id,
+        "slabs": slabs_report,
+        "bytes_before": sum(s["bytes_before"] for s in slabs_report.values()),
+        "bytes_after": sum(s["bytes_after"] for s in slabs_report.values()),
+        "spill": spill,
+    }
+
+
 def read_manifest(directory: str) -> Optional[Dict[str, Any]]:
     """Load a store's seal-time manifest; ``None`` when the store predates
     manifests (or was never sealed via :meth:`SpillManager.seal_all`)."""
@@ -654,6 +933,19 @@ def read_manifest(directory: str) -> Optional[Dict[str, Any]]:
     if not isinstance(manifest, dict):
         raise ProvenanceError(f"{path}: corrupt store manifest: not an object")
     return manifest
+
+
+def open_store_view(
+    spill: SpillManager, memory_budget_bytes: Optional[int] = None,
+) -> Optional["Any"]:
+    """A lazy :class:`~repro.provenance.store.SealedStoreView` over an
+    all-columnar sealed store, or ``None`` when any slab is pickle/legacy
+    (callers fall back to :func:`rebuild_store`)."""
+    from repro.provenance.store import SealedStoreView
+
+    if spill.store_format() != "columnar":
+        return None
+    return SealedStoreView(spill, memory_budget_bytes=memory_budget_bytes)
 
 
 def rebuild_store(spill: SpillManager) -> ProvenanceStore:

@@ -386,3 +386,323 @@ class ProvenanceStore:
             f"ProvenanceStore(relations={len(self._data)}, "
             f"rows={self._num_rows}, bytes={self.total_bytes()})"
         )
+
+
+class SealedStoreView:
+    """Out-of-core read view over a sealed *columnar* store.
+
+    Duck-types :class:`ProvenanceStore`'s read API (``partition`` /
+    ``partition_at`` / ``probe`` / ``rows`` / ``layer`` / accounting) on
+    top of a :class:`~repro.provenance.spill.SpillManager` whose slabs are
+    ARSC (:mod:`repro.provenance.columnar`), so the offline evaluators and
+    the query server run against sealed captures **without rebuilding a
+    store**: opening reads only slab footers, and queries decode exactly
+    the columns their plans touch.
+
+    Layout facts the view exploits:
+
+    * a layer slab ``t`` holds exactly the facts whose superstep is ``t``,
+      so ``partition_at`` is a single-slab group lookup;
+    * time-less relations live only in the static slab;
+    * one partition is one contiguous row range per slab, and partition
+      (vertex) keys are their own tiny segment — site discovery decodes no
+      row columns at all.
+
+    ``memory_budget_bytes`` bounds the evaluator's *load unit*, mirroring
+    the layered-from-spill contract: under pickle slabs the unit is one
+    whole slab (its on-disk bytes must fit the budget); under this view
+    the unit is what a slab's lazy reader *actually decodes* — exceeding
+    the budget on any single slab raises :class:`MemoryError`. That is
+    exactly why captures whose layers outgrow the budget stay queryable
+    columnar: a plan that touches few columns decodes few bytes. Probes
+    mirror the in-memory contract — candidates may be any superset of the
+    matching rows (the evaluator re-matches), and ``None`` means "scan
+    instead".
+    """
+
+    def __init__(
+        self, spill: Any, memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        static = spill.open_columnar_slab("static")
+        meta = static.meta
+        if meta is None:
+            raise ProvenanceError(
+                f"{static.path}: static slab carries no schema meta — "
+                "not a sealed provenance store"
+            )
+        self._spill = spill
+        self._static = static
+        self.registry = SchemaRegistry()
+        self.registry.register_all(meta["schemas"].values())
+        self._num_layers: int = meta["num_layers"]
+        self._sealed: List[int] = sorted(spill.sealed_layers())
+        self.memory_budget_bytes = memory_budget_bytes
+        self._layer_slabs: Dict[int, Any] = {}
+        self._relation_names: Optional[List[str]] = None
+
+    # -- plumbing -------------------------------------------------------
+    def _slab(self, superstep: Any) -> Optional[Any]:
+        slab = self._layer_slabs.get(superstep)
+        if slab is None:
+            if superstep not in self._layer_slabs:
+                try:
+                    slab = self._spill.open_columnar_slab(superstep)
+                except ProvenanceError:
+                    slab = None
+                self._layer_slabs[superstep] = slab
+        return slab
+
+    def _layer_views(self) -> Iterator[Any]:
+        for superstep in self._sealed:
+            slab = self._slab(superstep)
+            if slab is not None:
+                yield slab
+
+    def _all_views(self) -> Iterator[Any]:
+        yield self._static
+        yield from self._layer_views()
+
+    @property
+    def decoded_bytes(self) -> int:
+        """Uncompressed segment bytes materialized so far — the honest
+        memory cost of everything queries have touched."""
+        total = self._static.decoded_bytes
+        for slab in self._layer_slabs.values():
+            if slab is not None:
+                total += slab.decoded_bytes
+        return total
+
+    @property
+    def peak_slab_decoded_bytes(self) -> int:
+        """The largest per-slab decode so far — the columnar load unit
+        (what ``peak_slab_bytes`` reports for out-of-core runs)."""
+        peak = self._static.decoded_bytes
+        for slab in self._layer_slabs.values():
+            if slab is not None and slab.decoded_bytes > peak:
+                peak = slab.decoded_bytes
+        return peak
+
+    def _note(self) -> None:
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        for slab in self._all_open():
+            if slab.decoded_bytes > budget:
+                raise MemoryError(
+                    f"slab {slab.path} decoded {slab.decoded_bytes} bytes "
+                    f"of column segments, exceeding the memory budget "
+                    f"({budget})"
+                )
+
+    def _all_open(self) -> Iterator[Any]:
+        yield self._static
+        for slab in self._layer_slabs.values():
+            if slab is not None:
+                yield slab
+
+    def _schema(self, relation: str) -> Optional[RelationSchema]:
+        # Mirror the in-memory store: asking about a relation nothing ever
+        # registered (e.g. a message relation the capture never saw) is an
+        # empty read, not an error.
+        try:
+            return self.registry.get(relation)
+        except ProvenanceError:
+            return None
+
+    # -- reading --------------------------------------------------------
+    def relations(self) -> List[str]:
+        names = self._relation_names
+        if names is None:
+            names = []
+            seen: Set[str] = set()
+            for slab in self._all_views():
+                for relation in slab.relations():
+                    if relation not in seen:
+                        seen.add(relation)
+                        names.append(relation)
+            self._relation_names = names
+        return list(names)
+
+    def has_relation(self, relation: str) -> bool:
+        return relation in self.relations()
+
+    def partition(self, relation: str, vertex: Any) -> Set[Row]:
+        schema = self._schema(relation)
+        if schema is None:
+            return _EMPTY_ROWS
+        if schema.time_index is None:
+            rows = self._static.group_rows(relation, vertex)
+            self._note()
+            return rows if rows else _EMPTY_ROWS
+        out: Optional[Set[Row]] = None
+        for slab in self._layer_views():
+            if not slab.has_relation(relation):
+                continue
+            rows = slab.group_rows(relation, vertex)
+            if rows:
+                out = rows if out is None else out | rows
+        self._note()
+        return out if out is not None else _EMPTY_ROWS
+
+    def partition_at(
+        self, relation: str, vertex: Any, superstep: int
+    ) -> Set[Row]:
+        schema = self._schema(relation)
+        if schema is None:
+            return _EMPTY_ROWS
+        if schema.time_index is None:
+            rows = self._static.group_rows(relation, vertex)
+            self._note()
+            return rows if rows else _EMPTY_ROWS
+        slab = self._slab(superstep)
+        if slab is None or not slab.has_relation(relation):
+            return _EMPTY_ROWS
+        rows = slab.group_rows(relation, vertex)
+        self._note()
+        return rows if rows else _EMPTY_ROWS
+
+    def probe(
+        self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
+    ) -> Optional[Tuple[Row, ...]]:
+        """Hash-probe sealed partitions on ``pattern`` + the location
+        attribute, decoding only those columns. When the pattern binds the
+        relation's time attribute, exactly one layer slab is consulted."""
+        schema = self._schema(relation)
+        if schema is None:
+            return ()
+        loc = schema.location_index
+        if loc in pattern:
+            if key[pattern.index(loc)] != vertex:
+                return ()
+            full_pattern, full_key = pattern, key
+        else:
+            full_pattern = pattern + (loc,)
+            full_key = tuple(key) + (vertex,)
+        time_index = schema.time_index
+        if time_index is None:
+            slabs: List[Any] = [self._static]
+        elif time_index in pattern:
+            slab = self._slab(key[pattern.index(time_index)])
+            slabs = [slab] if slab is not None else []
+        else:
+            slabs = list(self._layer_views())
+        results: List[Row] = []
+        any_indexed = False
+        for slab in slabs:
+            if not slab.has_relation(relation):
+                continue
+            hit = slab.probe(relation, full_pattern, full_key)
+            if hit is None:
+                # Below the slab's indexing threshold: its whole partition
+                # is a valid (scan-sized) superset of the matches there.
+                results.extend(slab.group_rows(relation, vertex))
+            else:
+                any_indexed = True
+                results.extend(hit)
+        self._note()
+        if not any_indexed:
+            return None  # every slab was scan-cheap: let the caller scan
+        return tuple(results)
+
+    def rows(self, relation: str) -> Iterator[Row]:
+        for slab in self._all_views():
+            if slab.has_relation(relation):
+                yield from slab.all_rows(relation)
+        self._note()
+
+    def vertices(self, relation: Optional[str] = None) -> Set[Any]:
+        out: Set[Any] = set()
+        for slab in self._all_views():
+            names = [relation] if relation is not None else slab.relations()
+            for name in names:
+                if slab.has_relation(name):
+                    out.update(slab.groups(name))
+        self._note()
+        return out
+
+    def layer(self, superstep: int) -> Dict[str, Dict[Any, Set[Row]]]:
+        """Full materialization of one layer (compatibility path; the
+        layered evaluator prefers :meth:`layer_sites`)."""
+        slab = self._slab(superstep)
+        out: Dict[str, Dict[Any, Set[Row]]] = {}
+        if slab is not None:
+            for relation in slab.relations():
+                by_vertex = {
+                    vertex: set(rows)
+                    for vertex, rows in slab.iter_groups(relation)
+                }
+                if by_vertex:
+                    out[relation] = by_vertex
+        self._note()
+        return out
+
+    def layer_sites(self, superstep: int) -> Set[Any]:
+        """Vertices carrying at least one fact in one layer — group keys
+        only, no row columns decoded."""
+        slab = self._slab(superstep)
+        sites: Set[Any] = set()
+        if slab is not None:
+            for relation in slab.relations():
+                sites.update(slab.groups(relation))
+        self._note()
+        return sites
+
+    def layer_rows(self, superstep: int) -> int:
+        """Row count of one layer, straight from slab footers."""
+        slab = self._slab(superstep)
+        return slab.total_rows() if slab is not None else 0
+
+    def execution_nodes(self) -> Set[Tuple[Any, int]]:
+        nodes: Set[Tuple[Any, int]] = set()
+        for superstep in self._sealed:
+            for vertex in self.layer_sites(superstep):
+                nodes.add((vertex, superstep))
+        return nodes
+
+    @property
+    def max_superstep(self) -> int:
+        return self._num_layers - 1
+
+    @property
+    def num_layers(self) -> int:
+        return self._num_layers
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return sum(slab.total_rows() for slab in self._all_views())
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for slab in self._all_views():
+            for relation in slab.relations():
+                out[relation] = (
+                    out.get(relation, 0) + slab.row_count(relation)
+                )
+        return out
+
+    def total_bytes(self) -> int:
+        """Uncompressed payload bytes of every slab — the cost of decoding
+        everything, known from footers alone. This is what naive
+        evaluation's memory budget compares against."""
+        return sum(slab.raw_bytes() for slab in self._all_views())
+
+    def relation_bytes(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for slab in self._all_views():
+            for relation in slab.relations():
+                out[relation] = (
+                    out.get(relation, 0) + slab.raw_bytes(relation)
+                )
+        return out
+
+    def close(self) -> None:
+        """Release the shared slab handles (drops mmaps and caches)."""
+        self._layer_slabs.clear()
+        self._spill.release_slabs()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SealedStoreView(layers={self._num_layers}, "
+            f"decoded_bytes={self.decoded_bytes})"
+        )

@@ -117,17 +117,26 @@ def run_layered(
     if compiled.direction == DIRECTION_BACKWARD:
         order = range(num_layers - 1, -1, -1)
 
+    # Sealed columnar views answer "who was active in layer t" from slab
+    # footers + group keys without materializing a single row column; the
+    # in-memory store materializes the layer dict as before.
+    layer_sites = getattr(store, "layer_sites", None)
+
     peak_layer_rows = 0
     layers_visited = 0
     for layer_index in order:
         if budget is not None:
             budget.note_layer()
-        layer = store.layer(layer_index)
-        sites: Set[Any] = set()
-        layer_rows = 0
-        for by_vertex in layer.values():
-            sites.update(by_vertex)
-            layer_rows += sum(len(rows) for rows in by_vertex.values())
+        if layer_sites is not None:
+            sites: Set[Any] = layer_sites(layer_index)
+            layer_rows = store.layer_rows(layer_index)
+        else:
+            layer = store.layer(layer_index)
+            sites = set()
+            layer_rows = 0
+            for by_vertex in layer.values():
+                sites.update(by_vertex)
+                layer_rows += sum(len(rows) for rows in by_vertex.values())
         peak_layer_rows = max(peak_layer_rows, layer_rows)
         layers_visited += 1
         if not sites:
@@ -271,13 +280,34 @@ def run_layered_from_spill(
     ever pulls one layer slab through memory at a time, so it succeeds
     under budgets where naive evaluation (which must materialize every slab
     at once — see :func:`run_naive_from_spill`) cannot even load. This is
-    Section 5.1's scalability argument made checkable.
+    Section 5.1's scalability argument made checkable. Columnar stores
+    shrink the unit further — from one slab to the columns the plan
+    actually decodes — so captures whose *layers* outgrow the budget stay
+    queryable as long as no single slab's decoded columns exceed it.
     """
     from repro.provenance.model import SchemaRegistry
+    from repro.provenance.spill import open_store_view
     from repro.provenance.store import ProvenanceStore
 
     functions = FunctionRegistry(udfs)
     start = time.perf_counter()
+    view = open_store_view(spill, memory_budget_bytes=memory_budget_bytes)
+    if view is not None:
+        # Columnar out-of-core path: evaluate directly over the sealed
+        # slabs. No store is rebuilt; the view's budget enforcement fires
+        # inside the evaluator the moment any slab over-decodes.
+        try:
+            result = run_layered(
+                view, query, graph, params, udfs, use_index=use_index,
+            )
+            result.wall_seconds = time.perf_counter() - start
+            result.stats["from_spill"] = True
+            result.stats["store_format"] = "columnar"
+            result.stats["decoded_bytes"] = view.decoded_bytes
+            result.stats["peak_slab_bytes"] = view.peak_slab_decoded_bytes
+            return result
+        finally:
+            view.close()
     static = spill.load_static()
     registry = SchemaRegistry()
     registry.register_all(static["schemas"].values())
@@ -350,6 +380,10 @@ def run_layered_from_spill(
         "peak_layer_rows": peak_layer_rows,
         "peak_slab_bytes": peak_slab_bytes,
         "from_spill": True,
+        "store_format": (
+            spill.store_format() if hasattr(spill, "store_format")
+            else "pickle"
+        ),
         "head_predicates": sorted(compiled.head_predicates),
         "stratum_seconds": stratum_seconds,
         "use_index": use_index,
@@ -375,8 +409,16 @@ def run_naive_from_spill(
     memory_budget_bytes: Optional[int] = None,
     use_index: bool = True,
 ) -> QueryResult:
-    """Naive evaluation with its full-materialization load included."""
-    from repro.provenance.spill import rebuild_store
+    """Naive evaluation with its full-materialization load included.
+
+    The budget check stays format-independent: naive evaluation *is* the
+    materialize-everything mode, so even over a columnar store it must
+    afford every sealed slab up front ("Naive was not able to scale
+    beyond the two smallest datasets"). Only after the check passes does
+    the columnar path evaluate through the sealed view instead of
+    rebuilding an in-memory store.
+    """
+    from repro.provenance.spill import open_store_view, rebuild_store
 
     start = time.perf_counter()
     if memory_budget_bytes is not None:
@@ -386,11 +428,27 @@ def run_naive_from_spill(
                 f"naive evaluation must materialize all sealed slabs "
                 f"({loaded} bytes) but the budget is {memory_budget_bytes}"
             )
-    store = rebuild_store(spill)
-    result = run_naive(
-        store, query, graph, params, udfs,
-        memory_budget_bytes=None, use_index=use_index,
-    )
+    view = open_store_view(spill)
+    if view is not None:
+        try:
+            result = run_naive(
+                view, query, graph, params, udfs,
+                memory_budget_bytes=None, use_index=use_index,
+            )
+            result.stats["store_format"] = "columnar"
+            result.stats["decoded_bytes"] = view.decoded_bytes
+        finally:
+            view.close()
+    else:
+        store = rebuild_store(spill)
+        result = run_naive(
+            store, query, graph, params, udfs,
+            memory_budget_bytes=None, use_index=use_index,
+        )
+        result.stats["store_format"] = (
+            spill.store_format() if hasattr(spill, "store_format")
+            else "pickle"
+        )
     result.wall_seconds = time.perf_counter() - start
     result.stats["from_spill"] = True
     return result

@@ -51,11 +51,26 @@ from repro.pql.udf import FunctionRegistry
 from repro.provenance.spill import (
     MANIFEST_FILENAME,
     SpillManager,
+    open_store_view,
     read_manifest,
     rebuild_store,
 )
 
 logger = get_logger("serve.catalog")
+
+
+def _open_store(spill: SpillManager) -> Any:
+    """Open a sealed capture for serving.
+
+    Columnar stores come up as a :class:`SealedStoreView` — an mmap +
+    footer read, no unpickling — which is what makes catalog (re)open
+    near-zero-cost; queries then decode columns on demand and the
+    entry's lazily-touched state stays warm across requests exactly like
+    the in-memory row indexes do. Pickle/legacy stores keep the full
+    rebuild.
+    """
+    view = open_store_view(spill)
+    return view if view is not None else rebuild_store(spill)
 
 DEFAULT_PLAN_CACHE_SIZE = 32
 
@@ -183,8 +198,11 @@ class CatalogEntry:
                 if problems:
                     raise AdmissionError(self.directory, problems)
             spill = SpillManager.open(self.directory)
-            self.store = rebuild_store(spill)
+            old_store = self.store
+            self.store = _open_store(spill)
             self.spill = spill
+            if hasattr(old_store, "close"):
+                old_store.close()
             self.manifest = read_manifest(self.directory) or {}
             self._plans.clear()
             self._manifest_mtime_ns = mtime_ns
@@ -263,7 +281,7 @@ class RunCatalog:
                 entry = self._by_id[run_id]
                 self._by_path[directory] = entry
                 return entry, False
-            store = rebuild_store(spill)
+            store = _open_store(spill)
             entry = CatalogEntry(
                 run_id, directory, spill, store, manifest,
                 plan_cache_size=self._plan_cache_size,

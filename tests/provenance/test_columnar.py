@@ -1,0 +1,284 @@
+"""ARSC columnar codec: lanes, round-trips, probes, corrupt slabs, fuzz.
+
+The codec's contract: every chunk dict the sealers produce round-trips
+*exactly* — including concrete value types (``1`` vs ``1.0`` vs ``True``
+share a hash, so a lane that loses the type would corrupt stores) — and
+every structural violation of the on-disk format surfaces as a
+:class:`ProvenanceError` naming the format and path, never a raw
+``struct.error``.
+"""
+
+import pickle
+import struct
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProvenanceError
+from repro.pql.index import MIN_INDEX_ROWS
+from repro.provenance.columnar import (
+    LANE_F64,
+    LANE_I64,
+    LANE_PKL,
+    LANE_STR,
+    ColumnarSlab,
+    _pick_lane,
+    encode_columnar_slab,
+    is_columnar,
+    validate_columnar_file,
+)
+
+COMPRESSIONS = ("raw", "zlib")
+
+
+def roundtrip(chunks, compression="zlib"):
+    blob, _raw = encode_columnar_slab(chunks, compression)
+    return ColumnarSlab("<memory>", data=blob)
+
+
+def expected_chunks(chunks):
+    """What decode must return: empty partitions dropped, sets of rows."""
+    return {
+        rel: {v: set(rows) for v, rows in by_vertex.items() if rows}
+        for rel, by_vertex in chunks.items()
+    }
+
+
+def typed_rows(rows):
+    """Rows with concrete types made visible, so ``1`` vs ``True`` vs
+    ``1.0`` drift fails the comparison that plain set equality hides."""
+    return sorted(
+        (tuple((type(v).__name__, v) for v in row) for row in rows),
+        key=repr,
+    )
+
+
+class TestLaneSelection:
+    @pytest.mark.parametrize("values,lane", [
+        ([1, 2, -5], LANE_I64),
+        ([2 ** 63 - 1, -(2 ** 63)], LANE_I64),
+        ([2 ** 63], LANE_PKL),            # overflows i64
+        ([1.5, float("inf")], LANE_F64),
+        (["a", "b", "a"], LANE_STR),
+        ([True, False], LANE_PKL),        # bool is not int here
+        ([1, True], LANE_PKL),            # mixed concrete types
+        ([1, 1.0], LANE_PKL),
+        ([None, None], LANE_PKL),
+        ([(1, 2), (3, 4)], LANE_PKL),
+        ([1, "a"], LANE_PKL),
+    ])
+    def test_pick_lane(self, values, lane):
+        assert _pick_lane(values) == lane
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("compression", COMPRESSIONS)
+    def test_mixed_lanes(self, compression):
+        chunks = {
+            "value": {
+                0: {(0, 1.5, 0), (0, 2.5, 1)},
+                1: {(1, 0.5, 0)},
+            },
+            "label": {
+                0: {("a", 0)},
+                "v2": {("b", 1), ("ü\n", 2)},
+            },
+            "odd": {
+                0: {(True, None, 2 ** 80), ((1, "x"), 0.0, -1)},
+            },
+            "hollow": {},                       # empty relation survives
+            "dead": {5: set()},                 # empty partition dropped
+        }
+        slab = roundtrip(chunks, compression)
+        assert slab.to_chunks() == expected_chunks(chunks)
+        assert slab.compression == compression
+
+    def test_exact_types_preserved(self):
+        chunks = {"r": {0: {(True, 1.0, "1")}, 1: {(1, 2.0, "x")}}}
+        slab = roundtrip(chunks)
+        for vertex in (0, 1):
+            got = typed_rows(slab.group_rows("r", vertex))
+            want = typed_rows(chunks["r"][vertex])
+            assert got == want
+
+    def test_meta_rides_in_footer(self):
+        meta = {"schemas": {"v": "schema-object"}, "num_layers": 7}
+        chunks = {"\x00meta": meta, "r": {0: {(1,)}}}
+        slab = roundtrip(chunks)
+        assert slab.meta == meta
+        assert slab.to_chunks()["\x00meta"] == meta
+
+    def test_unicode_dictionary_lane(self):
+        strings = ["", "héllo", "日本語", "a\x00b", "\udc80\udcff", "héllo"]
+        chunks = {"s": {0: {(s, i) for i, s in enumerate(strings)}}}
+        slab = roundtrip(chunks)
+        assert slab.group_rows("s", 0) == chunks["s"][0]
+        assert list(slab.lanes("s")) == ["str", "i64"]
+
+    def test_non_scalar_vertex_keys(self):
+        chunks = {"r": {("w", 3): {(1, 2)}, None: {(3, 4)}}}
+        slab = roundtrip(chunks)
+        assert set(slab.groups("r")) == {("w", 3), None}
+        assert slab.group_rows("r", None) == {(3, 4)}
+
+
+class TestLazyAccounting:
+    def _chunks(self, rows=64):
+        return {
+            "wide": {0: {(i, float(i), f"s{i % 5}", i % 3) for i in range(rows)}},
+            "other": {0: {(i, i) for i in range(rows)}},
+        }
+
+    def test_open_decodes_nothing(self):
+        slab = roundtrip(self._chunks())
+        assert slab.decoded_bytes == 0
+        assert slab.row_count("wide") == 64       # footer-only
+        assert slab.total_rows() == 128
+        assert slab.raw_bytes() > 0
+        assert slab.decoded_bytes == 0
+
+    def test_groups_decode_only_keys(self):
+        slab = roundtrip(self._chunks())
+        slab.groups("wide")
+        after_keys = slab.decoded_bytes
+        assert 0 < after_keys < slab.raw_bytes("wide")
+        slab.column("wide", 0)
+        assert slab.decoded_bytes > after_keys
+
+    def test_single_column_scan_is_partial(self):
+        slab = roundtrip(self._chunks())
+        slab.column("other", 0)
+        assert slab.decoded_bytes < slab.raw_bytes() // 2
+
+
+class TestProbe:
+    def _slab(self, rows=4 * MIN_INDEX_ROWS):
+        chunks = {"r": {0: {(0, i, float(i % 7), f"k{i % 3}")
+                           for i in range(rows)}}}
+        return chunks, roundtrip(chunks)
+
+    def test_probe_matches_brute_force(self):
+        chunks, slab = self._slab()
+        pattern, key = (0, 3), (0, "k1")
+        hits = slab.probe("r", pattern, key)
+        want = {row for row in chunks["r"][0]
+                if (row[0], row[3]) == key}
+        assert set(hits) == want
+
+    def test_probe_miss_returns_empty(self):
+        _chunks, slab = self._slab()
+        assert slab.probe("r", (1,), (10 ** 9,)) == ()
+        assert slab.probe("absent", (0,), (0,)) == ()
+
+    def test_small_partition_declines(self):
+        slab = roundtrip({"r": {0: {(i,) for i in range(MIN_INDEX_ROWS - 1)}}})
+        assert slab.probe("r", (0,), (1,)) is None
+
+    def test_probe_decodes_only_pattern_columns(self):
+        _chunks, slab = self._slab()
+        slab.probe("r", (1,), (-1,))          # miss: no rows materialized
+        one_column = slab.decoded_bytes
+        assert 0 < one_column < slab.raw_bytes("r") // 2
+
+
+class TestCorruptSlabs:
+    def _blob(self):
+        blob, _ = encode_columnar_slab(
+            {"r": {0: {(1, 2.0)}}}, "zlib",
+        )
+        return blob
+
+    def test_magic_detection(self):
+        assert is_columnar(self._blob())
+        assert not is_columnar(b"ARSL\x01\x00")
+        assert not is_columnar(b"")
+
+    @pytest.mark.parametrize("mutate", [
+        lambda b: b[: len(b) // 2],                      # torn write
+        lambda b: b[:-4] + b"ARSX",                      # bad trailer magic
+        lambda b: b[:8],                                 # header only
+        lambda b: b[:-16] + struct.pack(
+            "<QI4s", 2 ** 40, 10, b"ARSC"),              # footer out of range
+    ], ids=["torn", "trailer-magic", "header-only", "footer-range"])
+    def test_structural_corruption(self, mutate, tmp_path):
+        path = tmp_path / "bad.slab"
+        path.write_bytes(mutate(self._blob()))
+        with pytest.raises(ProvenanceError) as err:
+            validate_columnar_file(str(path))
+        assert "columnar (ARSC)" in str(err.value)
+        assert "bad.slab" in str(err.value)
+        with pytest.raises(ProvenanceError):
+            ColumnarSlab(str(path))
+
+    def test_garbage_footer_payload(self, tmp_path):
+        blob = self._blob()
+        off, length, magic = struct.unpack("<QI4s", blob[-16:])
+        garbage = zlib.compress(b"not a pickle")
+        bad = blob[:off] + garbage + struct.pack(
+            "<QI4s", off, len(garbage), magic)
+        path = tmp_path / "bad.slab"
+        path.write_bytes(bad)
+        with pytest.raises(ProvenanceError, match=r"columnar \(ARSC\)"):
+            ColumnarSlab(str(path))
+
+    def test_mmap_open_reads_file(self, tmp_path):
+        path = tmp_path / "ok.slab"
+        path.write_bytes(self._blob())
+        with ColumnarSlab(str(path)) as slab:
+            assert slab.group_rows("r", 0) == {(1, 2.0)}
+
+
+# ---------------------------------------------------------------------------
+# hypothesis fuzz: arbitrary chunk dicts round-trip exactly
+# ---------------------------------------------------------------------------
+scalars = st.one_of(
+    st.integers(),                       # includes > 64-bit magnitudes
+    st.floats(allow_nan=False),
+    st.text(max_size=8),                 # unicode, empty strings
+    st.booleans(),
+    st.none(),
+    st.tuples(st.integers(), st.text(max_size=3)),
+)
+
+vertex_keys = st.one_of(st.integers(), st.text(max_size=4))
+
+
+@st.composite
+def chunk_dicts(draw):
+    relations = {}
+    for index in range(draw(st.integers(min_value=0, max_value=3))):
+        arity = draw(st.integers(min_value=1, max_value=4))
+        rows = st.sets(st.tuples(*[scalars] * arity), max_size=6)
+        by_vertex = {}
+        for vertex in draw(st.lists(vertex_keys, max_size=3, unique=True)):
+            by_vertex[vertex] = draw(rows)
+        relations[f"rel{index}"] = by_vertex
+    return relations
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=chunk_dicts(), compression=st.sampled_from(COMPRESSIONS))
+def test_fuzz_roundtrip(chunks, compression):
+    slab = roundtrip(chunks, compression)
+    assert slab.to_chunks() == expected_chunks(chunks)
+    for rel, by_vertex in chunks.items():
+        for vertex, rows in by_vertex.items():
+            if rows:
+                got = slab.group_rows(rel, vertex)
+                assert typed_rows(got) == typed_rows(rows)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=chunk_dicts())
+def test_fuzz_survives_reserialization(chunks):
+    """Encoding the decoded chunks again produces the same logical slab
+    (byte stability across a migrate round-trip)."""
+    first, _ = encode_columnar_slab(chunks, "zlib")
+    decoded = ColumnarSlab("<memory>", data=first).to_chunks()
+    second, _ = encode_columnar_slab(decoded, "zlib")
+    again = ColumnarSlab("<memory>", data=second)
+    assert again.to_chunks() == expected_chunks(chunks)

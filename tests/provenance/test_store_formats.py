@@ -1,0 +1,412 @@
+"""Differential matrix across sealed-store formats, out-of-core behavior,
+in-place migration, and corrupt-slab handling.
+
+The contract under test: query results are **byte-identical** across
+columnar (ARSC), framed-pickle (ARSL), and legacy bare-pickle stores,
+indexed and scan — the on-disk layout may only change cost, never
+answers. Queries 2 and 11 are capture-time queries (they read transient
+stream relations and cannot run offline); their cross-format guarantee
+is the chunk-level one asserted by ``test_rebuilt_stores_identical``.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.errors import ProvenanceError
+from repro.graph.generators import web_graph, with_random_weights
+from repro.obs import ledger as obsledger
+from repro.provenance.spill import (
+    SpillManager,
+    detect_slab_format,
+    migrate_store,
+    open_store_view,
+    rebuild_store,
+)
+from repro.runtime.offline import (
+    run_layered_from_spill,
+    run_naive_from_spill,
+    run_reference,
+)
+from repro.runtime.online import run_online
+
+FORMATS = ("columnar", "pickle", "legacy")
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(120, avg_degree=5, target_diameter=8, seed=41), seed=41
+    )
+
+
+@pytest.fixture(scope="module")
+def full_store(wgraph):
+    return run_online(
+        wgraph, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    ).store
+
+
+@pytest.fixture(scope="module")
+def custom_store(wgraph):
+    return run_online(
+        wgraph, SSSP(source=0), Q.CAPTURE_BACKWARD_CUSTOM_QUERY, capture=True
+    ).store
+
+
+def _seal(store, directory, fmt, compression="zlib"):
+    """Seal ``store`` into ``directory`` in one of the three formats.
+
+    ``legacy`` stores predate both ARSL framing and manifests: each slab
+    is one bare pickle (a layer file holds its chunk dict, the static
+    file holds ``load_static()``'s shape)."""
+    spill = SpillManager(
+        store, directory=directory,
+        format="pickle" if fmt == "legacy" else fmt,
+        compression=compression,
+    )
+    spill.seal_all()
+    spill.write_manifest()
+    if fmt == "legacy":
+        static = spill.load_static()
+        for superstep in list(spill.sealed_layers()):
+            chunks = spill.load_layer(superstep)
+            with open(spill.slab_path(superstep), "wb") as fh:
+                fh.write(pickle.dumps(chunks))
+        with open(spill._static_path, "wb") as fh:
+            fh.write(pickle.dumps(static))
+    return spill
+
+
+@pytest.fixture(scope="module")
+def sealed_dirs(full_store, tmp_path_factory):
+    dirs = {}
+    for fmt in FORMATS:
+        directory = str(tmp_path_factory.mktemp(f"store-{fmt}"))
+        _seal(full_store, directory, fmt)
+        dirs[fmt] = directory
+    return dirs
+
+
+@pytest.fixture(scope="module")
+def lineage_params(full_store):
+    sigma = full_store.max_superstep
+    alpha = next(x for x, i in full_store.rows("superstep") if i == sigma)
+    return {"alpha": alpha, "sigma": sigma}
+
+
+# ---------------------------------------------------------------------------
+# Queries 1-12, indexed and scan, across all three formats
+# ---------------------------------------------------------------------------
+def query_cases(lineage_params):
+    return {
+        "query1": dict(params={"eps": 0.1}, udfs=Q.apt_udfs(SSSP(source=0))),
+        "query3": dict(params={"source": 0}),
+        "query4": dict(),
+        "query5": dict(),
+        "query6": dict(),
+        "query7": dict(),
+        "query8": dict(params={"eps": 0.01}),
+        "query9": dict(params={"alpha": 0,
+                               "sigma": lineage_params["sigma"]}),
+        "query10": dict(params=lineage_params),
+    }
+
+
+@pytest.mark.parametrize("use_index", (True, False), ids=("indexed", "scan"))
+@pytest.mark.parametrize("qname", [
+    "query1", "query3", "query4", "query5", "query6", "query7", "query8",
+    "query9", "query10",
+])
+def test_query_matrix(qname, use_index, sealed_dirs, full_store, wgraph,
+                      lineage_params):
+    case = query_cases(lineage_params)[qname]
+    query = Q.NAMED_QUERIES[qname]
+    reference = run_reference(
+        full_store, query, wgraph, case.get("params"), case.get("udfs"),
+    )
+    digests = set()
+    for fmt in FORMATS:
+        spill = SpillManager.open(sealed_dirs[fmt])
+        for driver in (run_layered_from_spill, run_naive_from_spill):
+            result = driver(
+                spill, query, wgraph, case.get("params"), case.get("udfs"),
+                use_index=use_index,
+            )
+            for relation in reference.relations():
+                assert result.rows(relation) == reference.rows(relation), (
+                    f"{qname} {fmt} {driver.__name__} {relation}"
+                )
+            assert result.stats["from_spill"]
+            digests.add(obsledger.digest_query_result(result))
+    assert len(digests) == 1, "results must be byte-identical across formats"
+
+
+def test_query12_custom_store(custom_store, wgraph, lineage_params,
+                              tmp_path_factory):
+    reference = run_reference(
+        custom_store, Q.NAMED_QUERIES["query12"], wgraph, lineage_params,
+    )
+    assert reference.count("back_trace") >= 1
+    digests = set()
+    for fmt in FORMATS:
+        directory = str(tmp_path_factory.mktemp(f"custom-{fmt}"))
+        spill = _seal(custom_store, directory, fmt)
+        result = run_layered_from_spill(
+            spill, Q.NAMED_QUERIES["query12"], wgraph, lineage_params,
+        )
+        for relation in reference.relations():
+            assert result.rows(relation) == reference.rows(relation)
+        digests.add(obsledger.digest_query_result(result))
+    assert len(digests) == 1
+
+
+def test_rebuilt_stores_identical(sealed_dirs, full_store):
+    """The capture queries' guarantee: every format rebuilds the exact
+    same store content (same rows, same layers, same relations)."""
+    for fmt in FORMATS:
+        rebuilt = rebuild_store(SpillManager.open(sealed_dirs[fmt]))
+        assert rebuilt.num_layers == full_store.num_layers
+        assert rebuilt.counts() == full_store.counts()
+        for relation in full_store.relations():
+            assert (sorted(rebuilt.rows(relation), key=repr)
+                    == sorted(full_store.rows(relation), key=repr)), (
+                f"{fmt} {relation}")
+
+
+def test_store_format_detection(sealed_dirs):
+    for fmt, directory in sealed_dirs.items():
+        spill = SpillManager.open(directory)
+        assert spill.store_format() == fmt
+        stats_fmt = {detect_slab_format(os.path.join(directory, name))
+                     for name in spill.slab_formats}
+        assert stats_fmt == {fmt}
+
+
+# ---------------------------------------------------------------------------
+# out-of-core: layers larger than the budget stay queryable columnar
+# ---------------------------------------------------------------------------
+class TestOutOfCore:
+    @pytest.fixture(scope="class")
+    def raw_dirs(self, full_store, tmp_path_factory):
+        """Raw compression: the pickle load unit (whole slab bytes) and
+        the columnar one (decoded segment bytes) are then measured in the
+        same currency, uncompressed payload."""
+        dirs = {}
+        for fmt in ("columnar", "pickle"):
+            directory = str(tmp_path_factory.mktemp(f"ooc-{fmt}"))
+            _seal(full_store, directory, fmt, compression="raw")
+            dirs[fmt] = directory
+        return dirs
+
+    def test_query10_answers_where_pickle_cannot_load(
+            self, raw_dirs, full_store, wgraph, lineage_params):
+        """The acceptance criterion: pick a budget *below* the largest
+        pickle slab but above columnar's peak per-slab decode. Columnar
+        answers Query 10 correctly; pickle fails cleanly."""
+        query = Q.NAMED_QUERIES["query10"]
+        reference = run_reference(full_store, query, wgraph, lineage_params)
+
+        columnar = SpillManager.open(raw_dirs["columnar"])
+        unbudgeted = run_layered_from_spill(
+            columnar, query, wgraph, lineage_params,
+        )
+        peak_decoded = unbudgeted.stats["peak_slab_bytes"]
+        assert unbudgeted.stats["store_format"] == "columnar"
+        assert unbudgeted.stats["decoded_bytes"] >= peak_decoded > 0
+
+        pickle_spill = SpillManager.open(raw_dirs["pickle"])
+        largest_slab = max(
+            pickle_spill.layer_size(t) for t in pickle_spill.sealed_layers()
+        )
+        # The substantive claim: Query 10's columnar load unit is smaller
+        # than any whole-slab load unit, because the plan never touches
+        # receive_message's columns.
+        assert peak_decoded < largest_slab
+        budget = (peak_decoded + largest_slab) // 2
+
+        with pytest.raises(MemoryError, match="memory budget"):
+            run_layered_from_spill(
+                pickle_spill, query, wgraph, lineage_params,
+                memory_budget_bytes=budget,
+            )
+
+        result = run_layered_from_spill(
+            SpillManager.open(raw_dirs["columnar"]), query, wgraph,
+            lineage_params, memory_budget_bytes=budget,
+        )
+        assert result.stats["peak_slab_bytes"] <= budget
+        for relation in reference.relations():
+            assert result.rows(relation) == reference.rows(relation)
+
+    def test_columnar_budget_too_small_raises(self, raw_dirs, wgraph,
+                                              lineage_params):
+        spill = SpillManager.open(raw_dirs["columnar"])
+        with pytest.raises(MemoryError, match="memory budget"):
+            run_layered_from_spill(
+                spill, Q.NAMED_QUERIES["query10"], wgraph, lineage_params,
+                memory_budget_bytes=1,
+            )
+
+    def test_naive_budget_stays_format_independent(
+            self, raw_dirs, wgraph, lineage_params):
+        """Naive evaluation materializes everything by definition, so its
+        up-front budget check fails even on a columnar store."""
+        spill = SpillManager.open(raw_dirs["columnar"])
+        budget = spill.total_sealed_bytes() - 1
+        with pytest.raises(MemoryError, match="materialize all sealed"):
+            run_naive_from_spill(
+                spill, Q.NAMED_QUERIES["query10"], wgraph, lineage_params,
+                memory_budget_bytes=budget,
+            )
+
+
+# ---------------------------------------------------------------------------
+# sealed view semantics
+# ---------------------------------------------------------------------------
+class TestSealedView:
+    def test_view_only_for_columnar(self, sealed_dirs):
+        assert open_store_view(SpillManager.open(sealed_dirs["pickle"])) \
+            is None
+        assert open_store_view(SpillManager.open(sealed_dirs["legacy"])) \
+            is None
+        view = open_store_view(SpillManager.open(sealed_dirs["columnar"]))
+        assert view is not None
+        view.close()
+
+    def test_view_matches_store(self, sealed_dirs, full_store):
+        view = open_store_view(SpillManager.open(sealed_dirs["columnar"]))
+        try:
+            assert view.num_layers == full_store.num_layers
+            assert view.counts() == full_store.counts()
+            assert view.execution_nodes() == full_store.execution_nodes()
+            for relation in full_store.relations():
+                for vertex in full_store.vertices(relation):
+                    assert (view.partition(relation, vertex)
+                            == full_store.partition(relation, vertex))
+        finally:
+            view.close()
+
+    def test_unknown_relation_is_empty_read(self, sealed_dirs):
+        view = open_store_view(SpillManager.open(sealed_dirs["columnar"]))
+        try:
+            assert view.partition("never_captured", 0) == frozenset()
+            assert view.probe("never_captured", 0, (1,), (0,)) == ()
+        finally:
+            view.close()
+
+
+# ---------------------------------------------------------------------------
+# in-place migration
+# ---------------------------------------------------------------------------
+class TestMigration:
+    def _query_digest(self, directory, wgraph, lineage_params):
+        result = run_layered_from_spill(
+            SpillManager.open(directory), Q.NAMED_QUERIES["query10"],
+            wgraph, lineage_params,
+        )
+        return obsledger.digest_query_result(result)
+
+    @pytest.mark.parametrize("source_fmt", ("pickle", "legacy"))
+    def test_migrate_to_columnar(self, source_fmt, full_store, wgraph,
+                                 lineage_params, tmp_path):
+        directory = str(tmp_path / "store")
+        _seal(full_store, directory, source_fmt)
+        before = self._query_digest(directory, wgraph, lineage_params)
+
+        report = migrate_store(directory, "columnar", run_id="rmigrated01")
+        report["spill"].release_slabs()
+        assert report["to_format"] == "columnar"
+        assert all(s["to_format"] == "columnar"
+                   for s in report["slabs"].values())
+
+        spill = SpillManager.open(directory)
+        assert spill.store_format() == "columnar"
+        assert spill.run_id == "rmigrated01"
+        assert spill.migrated_from == report["from_run_id"]
+        assert self._query_digest(directory, wgraph, lineage_params) == before
+
+    def test_migrate_restamps_manifest(self, full_store, tmp_path):
+        """`repro audit verify` must pass on the migrated store: the
+        manifest digests are recomputed over the new slab bytes."""
+        directory = str(tmp_path / "store")
+        _seal(full_store, directory, "pickle")
+        problems, _ = obsledger.verify_store(directory)
+        assert problems == []
+        migrate_store(directory, "columnar")["spill"].release_slabs()
+        problems, _ = obsledger.verify_store(directory)
+        assert problems == []
+
+    def test_migrate_round_trip(self, full_store, wgraph, lineage_params,
+                                tmp_path):
+        directory = str(tmp_path / "store")
+        _seal(full_store, directory, "columnar")
+        before = self._query_digest(directory, wgraph, lineage_params)
+        migrate_store(directory, "pickle")["spill"].release_slabs()
+        assert SpillManager.open(directory).store_format() == "pickle"
+        migrate_store(directory, "columnar")["spill"].release_slabs()
+        assert SpillManager.open(directory).store_format() == "columnar"
+        assert self._query_digest(directory, wgraph, lineage_params) == before
+
+    def test_serve_admission_after_migration(self, full_store, tmp_path):
+        """Digest-verified admission passes on a migrated legacy store,
+        and the catalog serves it through the sealed columnar view."""
+        from repro.provenance.store import SealedStoreView
+        from repro.serve.catalog import RunCatalog
+
+        directory = str(tmp_path / "store")
+        _seal(full_store, directory, "legacy")
+        # legacy slab rewrite drifted from the seal-time manifest; migrate
+        # re-stamps it, after which admission verifies clean
+        migrate_store(directory, "columnar")["spill"].release_slabs()
+        catalog = RunCatalog(verify=True)
+        entry, created = catalog.register_path(directory)
+        assert created
+        assert isinstance(entry.store, SealedStoreView)
+        assert entry.store.num_layers == full_store.num_layers
+
+
+# ---------------------------------------------------------------------------
+# corrupt slabs surface as ProvenanceError at open
+# ---------------------------------------------------------------------------
+class TestCorruptStores:
+    def _sealed(self, full_store, tmp_path, fmt):
+        directory = str(tmp_path / "store")
+        _seal(full_store, directory, fmt)
+        return directory
+
+    @pytest.mark.parametrize("fmt,needle", [
+        ("columnar", "columnar (ARSC)"),
+        ("pickle", "framed (ARSL)"),
+    ])
+    def test_truncated_slab_fails_open(self, full_store, tmp_path, fmt,
+                                       needle):
+        directory = self._sealed(full_store, tmp_path, fmt)
+        victim = os.path.join(directory, "layer-000001.slab")
+        data = open(victim, "rb").read()
+        with open(victim, "wb") as fh:
+            fh.write(data[: max(5, len(data) // 3)])
+        with pytest.raises(ProvenanceError) as err:
+            SpillManager.open(directory)
+        assert needle in str(err.value) or "truncated" in str(err.value)
+        assert "layer-000001.slab" in str(err.value)
+
+    def test_empty_slab_fails_open(self, full_store, tmp_path):
+        directory = self._sealed(full_store, tmp_path, "columnar")
+        victim = os.path.join(directory, "layer-000000.slab")
+        open(victim, "wb").close()
+        with pytest.raises(ProvenanceError, match="empty file"):
+            SpillManager.open(directory)
+
+    def test_corrupt_footer_fails_open(self, full_store, tmp_path):
+        directory = self._sealed(full_store, tmp_path, "columnar")
+        victim = os.path.join(directory, "layer-000002.slab")
+        data = open(victim, "rb").read()
+        with open(victim, "wb") as fh:
+            fh.write(data[:-4] + b"XXXX")
+        with pytest.raises(ProvenanceError,
+                           match=r"columnar \(ARSC\).*layer-000002"):
+            SpillManager.open(directory)
