@@ -55,6 +55,12 @@ from repro.runtime.online import run_online
 DATASET = "IN-04"
 ALS_FEATURES = 5
 ALS_ROUNDS = 2
+#: The vectorized lane's queries and its CI gate: over a sealed columnar
+#: capture, batch-kernel evaluation must beat the indexed row path by at
+#: least this factor on the lineage queries (the full-scale target is
+#: 3x; smoke runs gate at 2x to absorb CI-runner noise).
+VECTOR_QUERIES = ("query9", "query10")
+VECTOR_MIN_SPEEDUP = 2.0
 #: The lineage queries (9, 10) trace through a dedicated longer PageRank
 #: capture: probe narrowing grows with partition depth (rows per vertex ~
 #: supersteps), and the paper's lineage experiments are exactly the
@@ -125,6 +131,27 @@ def _online_runner(graph, make_analytic, query, params=None, udfs=None,
     return run
 
 
+_LINEAGE_CTX = None
+
+
+def lineage_context():
+    """The long PageRank lineage capture shared by the Q9/Q10 specs and
+    the vectorized lane: ``(graph, store, fwd_params, back_params)``.
+    Cached per process so the capture runs once however many lanes ask."""
+    global _LINEAGE_CTX
+    if _LINEAGE_CTX is None:
+        pr_graph = web_graph_for(DATASET)
+        store = run_online(
+            pr_graph, PageRank(num_supersteps=LINEAGE_SUPERSTEPS),
+            Q.CAPTURE_FULL_QUERY, capture=True,
+        ).store
+        sigma = store.max_superstep
+        fwd_params = {"alpha": _trace_target(store, 0), "sigma": sigma}
+        back_params = {"alpha": _trace_target(store, sigma), "sigma": sigma}
+        _LINEAGE_CTX = (pr_graph, store, fwd_params, back_params)
+    return _LINEAGE_CTX
+
+
 def build_specs():
     """One (name, mode, workload, runner) entry per paper query."""
     pr_graph = web_graph_for(DATASET)
@@ -142,14 +169,7 @@ def build_specs():
         return ALS(bipartite, num_features=ALS_FEATURES,
                    max_rounds=ALS_ROUNDS)
 
-    lineage_store = run_online(
-        pr_graph, PageRank(num_supersteps=LINEAGE_SUPERSTEPS),
-        Q.CAPTURE_FULL_QUERY, capture=True,
-    ).store
-    sigma = lineage_store.max_superstep
-    fwd_params = {"alpha": _trace_target(lineage_store, 0), "sigma": sigma}
-    back_params = {"alpha": _trace_target(lineage_store, sigma),
-                   "sigma": sigma}
+    _graph, lineage_store, fwd_params, back_params = lineage_context()
 
     custom_store = run_online(
         pr_graph, pagerank(), Q.CAPTURE_BACKWARD_CUSTOM_QUERY, capture=True,
@@ -220,6 +240,75 @@ def measure_query(runner):
     return best
 
 
+def build_vector_report():
+    """The vectorized lane: the lineage queries over a sealed *columnar*
+    capture, evaluated three ways through ``run_layered_from_spill`` —
+    batch kernels (default), the indexed row path (``vectorize=False``),
+    and the plain scan path. Results must be byte-identical across all
+    three on every repetition; timings are best-of-``repeats()``."""
+    import tempfile
+
+    from repro.provenance.spill import SpillManager
+    from repro.runtime.offline import run_layered_from_spill
+
+    graph, store, fwd_params, back_params = lineage_context()
+    directory = tempfile.mkdtemp(prefix="repro-bench-vector-")
+    writer = SpillManager(store, directory=directory, format="columnar",
+                          compression="zlib")
+    writer.seal_all()
+    writer.write_manifest()
+    spill = SpillManager.open(directory)
+    cases = {
+        "query9": (Q.FORWARD_LINEAGE_FULL_QUERY, fwd_params),
+        "query10": (Q.BACKWARD_LINEAGE_FULL_QUERY, back_params),
+    }
+    lanes = (
+        ("vectorized", {}),
+        ("indexed", {"vectorize": False}),
+        ("scan", {"vectorize": False, "use_index": False}),
+    )
+    queries = {}
+    for name in VECTOR_QUERIES:
+        query, params = cases[name]
+        best = {}
+        identical = True
+        for _ in range(repeats()):
+            payloads = {}
+            for lane, kwargs in lanes:
+                result = run_layered_from_spill(
+                    spill, query, graph, params, **kwargs)
+                payloads[lane] = result.as_dict()
+                record = {
+                    "wall_seconds": result.wall_seconds,
+                    "evaluator": result.stats.get("evaluator"),
+                    "kernel_seconds": result.stats.get("kernel_seconds"),
+                    "batched_scans": result.stats.get("batched_scans", 0),
+                    "fallback_scans": result.stats.get("fallback_scans", 0),
+                }
+                if (lane not in best or record["wall_seconds"]
+                        < best[lane]["wall_seconds"]):
+                    best[lane] = record
+            identical = identical and (
+                payloads["vectorized"] == payloads["indexed"]
+                == payloads["scan"]
+            )
+        vec = best["vectorized"]["wall_seconds"]
+        best["speedup_vs_indexed"] = (
+            best["indexed"]["wall_seconds"] / vec if vec else 1.0)
+        best["speedup_vs_scan"] = (
+            best["scan"]["wall_seconds"] / vec if vec else 1.0)
+        best["identical"] = identical
+        queries[name] = best
+    return {
+        "store_format": "columnar",
+        "min_speedup_gate": VECTOR_MIN_SPEEDUP,
+        "queries": queries,
+        "all_identical": all(q["identical"] for q in queries.values()),
+        "min_speedup_vs_indexed": min(
+            q["speedup_vs_indexed"] for q in queries.values()),
+    }
+
+
 def build_report():
     queries = {}
     for name, mode, workload, runner in build_specs():
@@ -239,6 +328,7 @@ def build_report():
         else 1.0,
         "max_speedup": max(q["speedup"] for q in queries.values()),
         "all_identical": all(q["identical"] for q in queries.values()),
+        "vectorized": build_vector_report(),
     }
 
 
@@ -271,6 +361,29 @@ def publish_table(report):
     print(table)
 
 
+def publish_vector_table(vector):
+    rows = []
+    for name in VECTOR_QUERIES:
+        q = vector["queries"][name]
+        rows.append((
+            name,
+            q["scan"]["wall_seconds"], q["indexed"]["wall_seconds"],
+            q["vectorized"]["wall_seconds"],
+            q["speedup_vs_indexed"], q["speedup_vs_scan"],
+            q["vectorized"]["batched_scans"],
+            "yes" if q["identical"] else "NO",
+        ))
+    table = format_table(
+        "Vectorized columnar evaluation: lineage queries over a sealed "
+        "ARSC capture",
+        ["Query", "Scan s", "Indexed s", "Vector s", "vs idx", "vs scan",
+         "Batches", "Same"],
+        rows,
+    )
+    publish("query_vector", table)
+    print(table)
+
+
 def check_report(report, check_speedup=False):
     assert report["all_identical"], (
         "indexed and scan evaluation diverged — the hash index returned a "
@@ -287,6 +400,32 @@ def check_report(report, check_speedup=False):
             f"{report['total_indexed_seconds']:.3f}s indexed vs "
             f"{report['total_scan_seconds']:.3f}s scan"
         )
+    if "vectorized" in report:
+        check_vector_report(report["vectorized"],
+                            check_speedup=check_speedup)
+
+
+def check_vector_report(vector, check_speedup=False):
+    assert vector["all_identical"], (
+        "vectorized, indexed, and scan evaluation diverged on a columnar "
+        "store — a batch kernel computed a wrong solution set"
+    )
+    for name, q in vector["queries"].items():
+        assert q["vectorized"]["evaluator"] == "vectorized", (
+            f"{name}: the vectorized lane fell back to "
+            f"{q['vectorized']['evaluator']!r} — batch kernels never ran"
+        )
+        assert q["indexed"]["evaluator"] == "indexed", name
+        assert q["scan"]["evaluator"] == "scan", name
+        assert q["vectorized"]["batched_scans"] > 0, (
+            f"{name}: no scan ever took a batch kernel"
+        )
+    if check_speedup:
+        assert vector["min_speedup_vs_indexed"] >= VECTOR_MIN_SPEEDUP, (
+            "vectorized evaluation under the gate: "
+            f"{vector['min_speedup_vs_indexed']:.2f}x vs the required "
+            f"{VECTOR_MIN_SPEEDUP:.1f}x over the indexed row path"
+        )
 
 
 def test_query_latency(benchmark):
@@ -301,18 +440,38 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads (CI): shrink every graph")
     parser.add_argument("--check", action="store_true",
-                        help="fail unless indexing is a net aggregate win")
+                        help="fail unless indexing is a net aggregate win "
+                             "and the vectorized lane clears its gate")
+    parser.add_argument("--vector-only", action="store_true",
+                        help="run only the vectorized columnar lane "
+                             "(writes BENCH_query_vector.json; the "
+                             "query-vector CI smoke job's mode)")
     args = parser.parse_args(argv)
     if args.smoke and "REPRO_SCALE" not in os.environ:
         os.environ["REPRO_SCALE"] = "0.25"
+    if args.vector_only:
+        vector = build_vector_report()
+        report = {"dataset": DATASET, "scale": bench_scale(),
+                  "smoke": args.smoke, "vectorized": vector}
+        path = os.path.join(results_dir(), "BENCH_query_vector.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        publish_vector_table(vector)
+        check_vector_report(vector, check_speedup=args.check)
+        print(f"wrote {path}")
+        print(f"vectorized min speedup {vector['min_speedup_vs_indexed']:.2f}x "
+              f"vs indexed, identical={vector['all_identical']}")
+        return 0
     report = build_report()
     report["smoke"] = args.smoke
     path = write_json(report)
     publish_table(report)
+    publish_vector_table(report["vectorized"])
     check_report(report, check_speedup=args.check)
     print(f"wrote {path}")
     print(f"max speedup {report['max_speedup']:.2f}x, "
           f"aggregate {report['total_speedup']:.2f}x, "
+          f"vectorized min {report['vectorized']['min_speedup_vs_indexed']:.2f}x, "
           f"identical={report['all_identical']}")
     return 0
 

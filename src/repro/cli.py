@@ -501,21 +501,25 @@ def cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args) if (args.graph or args.dataset) else None
     params = _params(args.param)
     use_index = not getattr(args, "no_index", False)
+    vectorize = not getattr(args, "no_vectorize", False)
     query_text = _query_text(args)
     budget = getattr(args, "memory_budget", None)
     # The from-spill drivers pick the access path per store format:
     # columnar captures evaluate out-of-core through the sealed view
-    # (only the columns the plan touches are decoded), pickle/legacy
-    # captures rebuild the in-memory store as before.
+    # (only the columns the plan touches are decoded, and eligible rules
+    # run through the vectorized batch kernels), pickle/legacy captures
+    # rebuild the in-memory store as before.
     if args.mode == "layered":
         result = run_layered_from_spill(
             spill, query_text, graph, params,
             memory_budget_bytes=budget, use_index=use_index,
+            vectorize=vectorize,
         )
     else:
         result = run_naive_from_spill(
             spill, query_text, graph, params,
             memory_budget_bytes=budget, use_index=use_index,
+            vectorize=vectorize,
         )
     json_output = getattr(args, "json_output", False)
     if json_output:
@@ -901,6 +905,11 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="disable hash-index probing during query "
                              "evaluation (results are identical; use for "
                              "A/B latency comparisons)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="disable the vectorized batch evaluator over "
+                             "columnar stores and keep the row-at-a-time "
+                             "path (results are identical; use for A/B "
+                             "latency comparisons)")
     parser.add_argument("--spill-sync", action="store_true",
                         help="seal provenance layers synchronously instead "
                              "of through the background spill writer "

@@ -626,6 +626,12 @@ def _make_scan(
             if pos > 0
             and (op == CHECK_TERM or (op == CHECK_VAR and payload in bound))
         )
+    # Batch-kernel eligibility mirrors allow_probe (aggregate-head rules
+    # stay row-at-a-time: float accumulation is enumeration-order
+    # sensitive) and requires a known partition. Like the hash-probe
+    # annotation this says the step *may* vectorize — stores that expose
+    # no column batches (in-memory, pickle, virtual graph relations) fall
+    # back to the row path at runtime.
     return ScanStep(
         relation=atom.predicate,
         negated=negated,
@@ -634,6 +640,7 @@ def _make_scan(
         time_bound=time_bound,
         time_arg=time_arg,
         probe=probe,
+        vectorized=allow_probe and loc_bound,
     )
 
 
@@ -647,12 +654,20 @@ def build_plan(
 ) -> RulePlan:
     """Greedy join-order planning with binding propagation.
 
-    ``stats`` (relation -> stored row count, e.g.
-    :meth:`~repro.provenance.store.ProvenanceStore.counts`) refines the
-    scan order: among equally-bound candidates, prefer the relation with
-    the longest statically-probeable binding prefix, then the smallest
-    estimated cardinality. Without stats the ordering is unchanged, so
-    plans stay deterministic for callers that compile without a store.
+    ``stats`` refines the scan order. Two shapes are accepted per
+    relation: a plain stored row count (e.g.
+    :meth:`~repro.provenance.store.ProvenanceStore.counts`) or the richer
+    ``{"rows": n, "distinct": {position: count}}`` a sealed columnar
+    store's footer records at seal time
+    (:meth:`~repro.provenance.store.SealedStoreView.stats`). Among
+    equally-bound candidates the planner prefers the longest
+    statically-probeable binding prefix, then — when distinct counts are
+    known — the probe whose key columns are most selective (highest
+    distinct count), then the smallest estimated cardinality. Ordering
+    only ever permutes join order, never membership, so results are
+    identical with or without stats. Without stats the ordering is
+    unchanged, so plans stay deterministic for callers that compile
+    without a store.
 
     Raises :class:`PQLSemanticError` if the rule cannot be ordered safely
     (an unbound variable in a negated atom, comparison or function call).
@@ -666,15 +681,25 @@ def build_plan(
     # byte-identical with indexing on or off.
     allow_probe = not rule.head.has_aggregates()
 
-    def scan_priority(step: ScanStep) -> Tuple[int, int, int, int]:
+    def scan_priority(step: ScanStep) -> Tuple[int, ...]:
         checks = sum(1 for op, _ in step.arg_ops if op != BIND and op != ANY)
         if stats is None:
             return (1 if step.time_bound else 0, checks, 0, 0)
+        entry = stats.get(step.relation, 0)
+        if isinstance(entry, dict):
+            rows = entry.get("rows", 0)
+            distinct_of = entry.get("distinct", {})
+            selectivity = max(
+                (distinct_of.get(pos, 0) for pos in step.probe), default=0,
+            )
+        else:
+            rows, selectivity = entry, 0
         return (
             1 if step.time_bound else 0,
             checks,
             len(step.probe),
-            -stats.get(step.relation, 0),
+            selectivity,
+            -rows,
         )
 
     while remaining:
@@ -867,6 +892,7 @@ def _semijoin_optimize(
                         post_filters=absorbed,
                         exists=True,
                         probe=step.probe,
+                        vectorized=step.vectorized,
                     )
                     del out[i + 1:j]
         i += 1
@@ -888,8 +914,10 @@ def compile_query(
     schemas plus, for offline queries, whatever a capture run stored.
     ``functions`` is only consulted for *names* here (to resolve boolean
     calls); actual callables are looked up at evaluation time.
-    ``stats`` (relation -> row count) feeds the planner's cardinality
-    heuristic; the offline drivers pass the captured store's counts.
+    ``stats`` (relation -> row count, or the richer per-column shape
+    :func:`build_plan` documents) feeds the planner's cardinality and
+    selectivity heuristics; the offline drivers pass the captured store's
+    counts, or its footer-stamped column stats for sealed columnar views.
     """
     registry = registry or SchemaRegistry()
     functions = functions or FunctionRegistry()

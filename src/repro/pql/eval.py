@@ -286,6 +286,10 @@ class Database:
         self.index_enabled = True
         self.index_probes = 0
         self.index_scans = 0
+        # When a VectorContext (repro.pql.vectorized) is attached, the
+        # evaluator routes eligible non-aggregate rules through its batch
+        # kernels; None keeps the row-at-a-time path exclusively.
+        self.vector_ctx: Optional[Any] = None
 
     # -- reads (override) -------------------------------------------------
     def rows(self, relation: str, vertex: Any) -> Iterable[Row]:
@@ -521,6 +525,11 @@ def evaluate_rule(
     plan = _select_plan(crule, mode)
     env = _initial_env(crule, mode, site, anchor_time)
     if crule.is_aggregate:
+        # Aggregate heads always stay on the row path; count the bypass so
+        # `rules_fallback` means "invocations the kernels did not run".
+        agg_ctx = db.vector_ctx
+        if agg_ctx is not None and mode != MODE_FREE:
+            agg_ctx.rules_fallback += 1
         return _evaluate_aggregate(crule, plan, env, db, functions)
     head_args = crule.head_args
     pred = crule.head_predicate
@@ -528,10 +537,19 @@ def evaluate_rule(
     # relation it derives into (evaluation is snapshot-per-step; the
     # enclosing fixpoint loop picks up the new facts next round).
     try:
-        rows = [
-            tuple(eval_term(arg, solution, functions) for arg in head_args)
-            for solution in _join(plan.steps, 0, env, db, functions)
-        ]
+        ctx = db.vector_ctx
+        rows = None
+        if ctx is not None and mode != MODE_FREE:
+            # Batch kernels compute the same solution set as `_join`
+            # (dedup happens at `db.add`); None means the plan could not
+            # vectorize and the row path below runs instead.
+            rows = ctx.evaluate(crule, plan, env, db, functions)
+        if rows is None:
+            rows = [
+                tuple(eval_term(arg, solution, functions)
+                      for arg in head_args)
+                for solution in _join(plan.steps, 0, env, db, functions)
+            ]
     except PQLError:
         raise
     except Exception as exc:

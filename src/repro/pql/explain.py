@@ -49,6 +49,8 @@ def _describe_step(step: Any, indent: str) -> List[str]:
         if step.probe:
             positions = ",".join(str(p) for p in step.probe)
             flags.append(f"hash-probe({positions})")
+        if step.vectorized:
+            flags.append("vectorized")
         suffix = f"  [{', '.join(flags)}]" if flags else ""
         lines = [f"{indent}scan {step.relation}({args}){suffix}"]
         for post in step.post_filters:

@@ -61,6 +61,12 @@ class ScanStep:
     # Non-empty => the evaluator may hash-probe the partition on these
     # positions instead of scanning it (see repro.pql.index).
     probe: Tuple[int, ...] = ()
+    # The vectorized evaluator may run this scan as a batch kernel over
+    # typed column vectors when the store exposes them (sealed columnar
+    # partitions). Set by the compiler for non-aggregate rules scanning
+    # stored relations; aggregate-head rules stay on the row path (their
+    # float accumulation is enumeration-order sensitive).
+    vectorized: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         neg = "!" if self.negated else ""

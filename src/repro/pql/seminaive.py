@@ -196,13 +196,18 @@ def _solutions(
     if not body:
         yield env
         return
-    # choose the next evaluable literal: prefer ready filters, else the
-    # first positive atom
+    # choose the next evaluable literal: prefer ready filters, then the
+    # delta occurrence (deltas are the smallest relation in a semi-naive
+    # round, so driving the join from them minimizes re-scans of stable
+    # facts — the same ordering the vectorized batch kernels use for
+    # their delta joins), else the first positive atom
     index = None
     for i, plit in enumerate(body):
         if plit.is_test and _literal_ready(plit, env):
             index = i
             break
+    if index is None and delta_at is not None and body[delta_at].is_positive:
+        index = delta_at
     if index is None:
         for i, plit in enumerate(body):
             if plit.is_positive:

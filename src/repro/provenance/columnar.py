@@ -60,7 +60,11 @@ from repro.pql.index import MIN_INDEX_ROWS
 Row = Tuple[Any, ...]
 
 ARSC_MAGIC = b"ARSC"
-ARSC_VERSION = 1
+#: Version 2 adds per-column ``distinct`` stats to the footer (planner
+#: selectivity ordering). Readers accept both; version-1 slabs simply
+#: carry no stats.
+ARSC_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 LANE_I64 = "i64"
 LANE_F64 = "f64"
@@ -171,16 +175,20 @@ def encode_columnar_slab(
             desc: Dict[str, Any] = {"lane": lane}
             if lane == LANE_I64:
                 payload = struct.pack(f"<{nrows}q", *values)
+                desc["distinct"] = len(set(values))
             elif lane == LANE_F64:
                 payload = struct.pack(f"<{nrows}d", *values)
+                desc["distinct"] = len(set(values))
             elif lane == LANE_STR:
                 dict_blob, payload, count = _encode_str_dict(values)
                 seg, comp, raw_len = add_segment(dict_blob)
                 desc.update(dict_seg=seg, dict_comp=comp,
-                            dict_raw=raw_len, dict_count=count)
+                            dict_raw=raw_len, dict_count=count,
+                            distinct=count)
             else:
                 payload = pickle.dumps(values,
                                        protocol=pickle.HIGHEST_PROTOCOL)
+                desc["distinct"] = len(set(values))
             seg, comp, raw_len = add_segment(payload)
             desc.update(seg=seg, comp=comp, raw=raw_len)
             columns.append(desc)
@@ -253,8 +261,16 @@ class ColumnarSlab:
     out-of-core memory budgets.
     """
 
-    def __init__(self, path: str, data: Optional[bytes] = None) -> None:
+    def __init__(self, path: str, data: Optional[bytes] = None,
+                 dict_cache: Optional[Dict[Tuple[str, int], List[str]]] = None,
+                 ) -> None:
         self.path = path
+        #: Optional shared cache of decoded string dictionaries, owned by
+        #: the spill manager so it outlives this handle (queries on a
+        #: reopened view skip the dictionary re-decode). Cache hits are
+        #: still charged to ``decoded_bytes`` so memory budgets and
+        #: ``peak_slab_bytes`` account the resident dictionaries honestly.
+        self._dict_cache = dict_cache
         self._file = None
         self._mm: Any = None
         if data is None:
@@ -277,7 +293,7 @@ class ColumnarSlab:
         if magic != ARSC_MAGIC:
             self.close()
             raise _corrupt(path, "bad header magic")
-        if version != ARSC_VERSION:
+        if version not in _READABLE_VERSIONS:
             self.close()
             raise _corrupt(path, f"unsupported version {version}")
         try:
@@ -313,6 +329,12 @@ class ColumnarSlab:
         self._probe_maps: Dict[
             Tuple[str, Tuple[int, ...]], Dict[Tuple[Any, ...], List[int]]
         ] = {}
+        # typed zero-copy vectors (memoryview casts) for the batch kernels
+        self._vectors: Dict[Tuple[str, int], Any] = {}
+        # memoized per-relation lane tuples (footer-only, immutable)
+        self._lanes: Dict[str, Tuple[str, ...]] = {}
+        # literal -> dict code lookups resolved without decoding the dict
+        self._dict_codes: Dict[Tuple[str, int], Dict[str, Optional[int]]] = {}
 
     # -- footer-only accessors (no segment decode) ----------------------
     @property
@@ -337,8 +359,29 @@ class ColumnarSlab:
         return len(self._relations[relation]["columns"])
 
     def lanes(self, relation: str) -> Tuple[str, ...]:
-        """Per-column lane names, for ``repro inspect``."""
-        return tuple(c["lane"] for c in self._relations[relation]["columns"])
+        """Per-column lane names (memoized — batch construction asks per
+        partition, the footer answer never changes)."""
+        lanes = self._lanes.get(relation)
+        if lanes is None:
+            lanes = self._lanes[relation] = tuple(
+                c["lane"] for c in self._relations[relation]["columns"]
+            )
+        return lanes
+
+    def column_stats(self, relation: str) -> Dict[str, Any]:
+        """Footer-stamped stats for one relation: row count plus the
+        per-position distinct counts version-2 slabs record at seal time.
+        Version-1 slabs yield an empty ``distinct`` map — callers must
+        treat the stats as optional."""
+        desc = self._relations.get(relation)
+        if desc is None:
+            return {"rows": 0, "distinct": {}}
+        distinct = {
+            pos: col["distinct"]
+            for pos, col in enumerate(desc["columns"])
+            if col.get("distinct") is not None
+        }
+        return {"rows": desc["rows"], "distinct": distinct}
 
     def raw_bytes(self, relation: Optional[str] = None) -> int:
         """Uncompressed payload bytes (all relations, or one) — the cost of
@@ -378,6 +421,13 @@ class ColumnarSlab:
                         desc: Dict[str, Any]) -> List[str]:
         key = (relation, pos)
         strings = self._str_dicts.get(key)
+        if strings is None and self._dict_cache is not None:
+            strings = self._dict_cache.get(key)
+            if strings is not None:
+                # Cache hit: the dictionary is resident without touching
+                # the segment — charge it as if decoded so budgets see it.
+                self._str_dicts[key] = strings
+                self.decoded_bytes += desc["dict_raw"]
         if strings is None:
             buf = self._segment((relation, ("dict", pos)), desc["dict_seg"],
                                 desc["dict_comp"], desc["dict_raw"])
@@ -398,7 +448,101 @@ class ColumnarSlab:
                     self.path, f"corrupt string dictionary: {exc}"
                 ) from None
             self._str_dicts[key] = strings
+            if self._dict_cache is not None:
+                self._dict_cache[key] = strings
         return strings
+
+    # -- typed vectors (batch kernels) ----------------------------------
+    def vector(self, relation: str, pos: int) -> Any:
+        """The whole column as a typed, zero-copy sequence: a ``'q'``/``'d'``
+        memoryview cast for the i64/f64 lanes, the raw u32 *dictionary
+        code* view for str lanes (no string decode at all), and the
+        memoized value tuple for pickle lanes. Slices of the returned
+        object are what the vectorized kernels iterate."""
+        key = (relation, pos)
+        vec = self._vectors.get(key)
+        if vec is not None:
+            return vec
+        desc = self._relations[relation]["columns"][pos]
+        lane = desc["lane"]
+        if lane == LANE_PKL:
+            vec = self.column(relation, pos)
+        else:
+            buf = self._segment((relation, pos), desc["seg"], desc["comp"],
+                                desc["raw"])
+            fmt = {LANE_I64: "q", LANE_F64: "d", LANE_STR: "I"}[lane]
+            try:
+                vec = memoryview(buf).cast(fmt)
+            except (TypeError, ValueError) as exc:
+                raise _corrupt(
+                    self.path,
+                    f"corrupt {lane} column {relation}[{pos}]: {exc}",
+                ) from None
+            if len(vec) != self._relations[relation]["rows"]:
+                raise _corrupt(
+                    self.path,
+                    f"column {relation}[{pos}] holds {len(vec)} values, "
+                    f"footer says {self._relations[relation]['rows']}",
+                )
+        self._vectors[key] = vec
+        return vec
+
+    def column_slice(self, relation: str, pos: int, start: int,
+                     count: int) -> Any:
+        """``count`` decoded values of one column starting at row ``start``
+        — string codes are materialized through the (memoized) dictionary;
+        the fixed-width lanes stay zero-copy views."""
+        desc = self._relations[relation]["columns"][pos]
+        vec = self.vector(relation, pos)
+        if desc["lane"] == LANE_STR:
+            strings = self._column_strings(relation, pos, desc)
+            return [strings[c] for c in vec[start:start + count]]
+        return vec[start:start + count]
+
+    def str_code(self, relation: str, pos: int, value: Any) -> Optional[int]:
+        """The dictionary code of ``value`` in a str-lane column, or ``None``
+        when absent (or when ``value`` is not a str — codes only ever encode
+        exact strings). Scans the length-prefixed dictionary blob bytewise,
+        so a literal-equality pushdown never decodes the dictionary."""
+        if type(value) is not str:
+            return None
+        key = (relation, pos)
+        memo = self._dict_codes.get(key)
+        if memo is not None and value in memo:
+            return memo[value]
+        desc = self._relations[relation]["columns"][pos]
+        strings = self._str_dicts.get(key)
+        if strings is None and self._dict_cache is not None:
+            strings = self._dict_cache.get(key)
+        if strings is not None:
+            try:
+                code: Optional[int] = strings.index(value)
+            except ValueError:
+                code = None
+        else:
+            buf = self._segment((relation, ("dict", pos)), desc["dict_seg"],
+                                desc["dict_comp"], desc["dict_raw"])
+            target = value.encode("utf-8", "surrogatepass")
+            tlen = len(target)
+            code = None
+            offset = _U32.size
+            try:
+                (count,) = _U32.unpack_from(buf, 0)
+                for idx in range(count):
+                    (slen,) = _U32.unpack_from(buf, offset)
+                    offset += _U32.size
+                    if slen == tlen and bytes(buf[offset:offset + slen]) == target:
+                        code = idx
+                        break
+                    offset += slen
+            except struct.error as exc:
+                raise _corrupt(
+                    self.path, f"corrupt string dictionary: {exc}"
+                ) from None
+        if memo is None:
+            memo = self._dict_codes[key] = {}
+        memo[value] = code
+        return code
 
     def column(self, relation: str, pos: int) -> Tuple[Any, ...]:
         """One fully decoded column, memoized. Only the requested column's
@@ -593,8 +737,9 @@ class ColumnarSlab:
 
     def close(self) -> None:
         """Drop memoized state and unmap the file."""
-        for attr in ("_buffers", "_columns", "_str_dicts", "_groups",
-                     "_group_rows", "_rows_cache", "_probe_maps"):
+        for attr in ("_vectors", "_buffers", "_columns", "_str_dicts",
+                     "_groups", "_group_rows", "_rows_cache", "_probe_maps",
+                     "_dict_codes"):
             state = getattr(self, attr, None)
             if state is not None:
                 state.clear()

@@ -291,6 +291,13 @@ class SpillManager:
         # Open mmap handles for columnar slabs (key: superstep or
         # "static"), shared by every SealedStoreView over this manager.
         self._open_slabs: Dict[Any, ColumnarSlab] = {}
+        # Decoded string dictionaries, keyed per slab *file* (path, mtime,
+        # size) so a rewrite under the same key never serves stale entries.
+        # Deliberately survives release_slabs(): closing a view and
+        # reopening one on the same manager must not re-decode every
+        # dictionary segment. Each slab handle re-charges cache hits to its
+        # own decoded_bytes, keeping budgets and peak_slab_bytes honest.
+        self._dict_caches: Dict[Any, Dict[Any, Any]] = {}
         #: Run id a migration rewrote this store under (manifest bookkeeping
         #: only; set by :func:`migrate_store`).
         self.migrated_from: Optional[str] = None
@@ -679,7 +686,15 @@ class SpillManager:
                     path = self._slabs.get(key)
                 if path is None:
                     raise ProvenanceError(f"slab {key!r} was never sealed")
-                slab = ColumnarSlab(path)
+                try:
+                    st = os.stat(path)
+                    cache_key = (path, st.st_mtime_ns, st.st_size)
+                except OSError:
+                    cache_key = (path, None, None)
+                slab = ColumnarSlab(
+                    path,
+                    dict_cache=self._dict_caches.setdefault(cache_key, {}),
+                )
                 self._open_slabs[key] = slab
             return slab
 
@@ -732,6 +747,7 @@ class SpillManager:
         self._shutdown_writer()
         self._drain_completed()
         self.release_slabs()
+        self._dict_caches.clear()
         error = self._writer_error
         self._writer_error = None
         paths = list(self._slabs.values())

@@ -388,6 +388,63 @@ class ProvenanceStore:
         )
 
 
+class ColumnBatch:
+    """One partition's rows in one slab as typed column vectors.
+
+    The unit the vectorized evaluator consumes: a contiguous ``(start,
+    count)`` row range of one relation inside one ARSC slab. Columns are
+    decoded lazily and independently — ``values``/``codes`` touch exactly
+    one column's segment, which is what makes late materialization real
+    (a column no kernel asks for is never decoded). ``note`` is the
+    owning view's budget check, invoked after every decode so
+    out-of-core memory budgets fire mid-batch, not per query.
+    """
+
+    __slots__ = ("_slab", "relation", "start", "count", "_lanes", "_note")
+
+    def __init__(self, slab: Any, relation: str, start: int, count: int,
+                 note: Any) -> None:
+        self._slab = slab
+        self.relation = relation
+        self.start = start
+        self.count = count
+        self._lanes = slab.lanes(relation)
+        self._note = note
+
+    @property
+    def arity(self) -> int:
+        return len(self._lanes)
+
+    def lane(self, pos: int) -> str:
+        return self._lanes[pos]
+
+    def values(self, pos: int) -> Any:
+        """Decoded values of one column over this range (str lanes gather
+        through the memoized dictionary; fixed lanes are zero-copy)."""
+        out = self._slab.column_slice(self.relation, pos, self.start,
+                                      self.count)
+        self._note()
+        return out
+
+    def codes(self, pos: int) -> Optional[Any]:
+        """The raw u32 dictionary-code view for a str lane (``None`` for
+        every other lane) — the operand for pushed-down string equality."""
+        if self._lanes[pos] != "str":
+            return None
+        out = self._slab.vector(self.relation, pos)[
+            self.start:self.start + self.count
+        ]
+        self._note()
+        return out
+
+    def code_of(self, pos: int, value: Any) -> Optional[int]:
+        """Dictionary code of ``value`` in this slab's column (``None``
+        when absent: the literal matches nothing here)."""
+        code = self._slab.str_code(self.relation, pos, value)
+        self._note()
+        return code
+
+
 class SealedStoreView:
     """Out-of-core read view over a sealed *columnar* store.
 
@@ -603,6 +660,55 @@ class SealedStoreView:
         if not any_indexed:
             return None  # every slab was scan-cheap: let the caller scan
         return tuple(results)
+
+    def column_batches(
+        self, relation: str, vertex: Any, superstep: Optional[int] = None,
+    ) -> List[ColumnBatch]:
+        """One partition as typed column batches, one per slab that holds
+        a row range for ``vertex`` — the vectorized evaluator's scan
+        source. Mirrors ``partition_at`` (``superstep`` given) /
+        ``partition`` (``superstep is None``) slab selection exactly, so
+        enumerating the batches' rows equals the row-path candidate set.
+        Only group keys are decoded here; columns decode on demand."""
+        schema = self._schema(relation)
+        if schema is None:
+            return []
+        if schema.time_index is None:
+            slabs: List[Any] = [self._static]
+        elif superstep is not None:
+            slab = self._slab(superstep)
+            slabs = [slab] if slab is not None else []
+        else:
+            slabs = list(self._layer_views())
+        batches: List[ColumnBatch] = []
+        for slab in slabs:
+            if not slab.has_relation(relation):
+                continue
+            span = slab.groups(relation).get(vertex)
+            if span is not None:
+                batches.append(
+                    ColumnBatch(slab, relation, span[0], span[1], self._note)
+                )
+        self._note()
+        return batches
+
+    def stats(self) -> Dict[str, Any]:
+        """Planner statistics straight from slab footers: per relation the
+        total row count plus per-position distinct counts (version-2
+        slabs; the max across slabs is a usable selectivity lower bound).
+        Stat-less version-1 slabs degrade to row counts only."""
+        out: Dict[str, Any] = {}
+        for slab in self._all_views():
+            for relation in slab.relations():
+                stats = slab.column_stats(relation)
+                entry = out.get(relation)
+                if entry is None:
+                    entry = out[relation] = {"rows": 0, "distinct": {}}
+                entry["rows"] += stats["rows"]
+                for pos, count in stats["distinct"].items():
+                    if count > entry["distinct"].get(pos, 0):
+                        entry["distinct"][pos] = count
+        return out
 
     def rows(self, relation: str) -> Iterator[Row]:
         for slab in self._all_views():

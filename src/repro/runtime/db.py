@@ -98,6 +98,31 @@ class StoreDatabase(Database):
         if relation in self.head_predicates:
             yield from self.derived.all_rows(relation)
 
+    def column_batches(
+        self, relation: str, vertex: Any, superstep: Any = None,
+    ) -> Optional[Iterable[Any]]:
+        """Typed column batches for a stored partition, or ``None`` to
+        make the vectorized evaluator fall back to row candidates.
+
+        ``None`` (never ``[]``) for anything a batch enumeration could
+        under-report: virtual graph relations, head predicates (their
+        derived overlay lives outside the store), and stores that do not
+        expose batches (in-memory, pickle-slab, legacy formats)."""
+        if _StaticRelations.handles(relation):
+            return None
+        if relation in self.head_predicates:
+            return None
+        getter = getattr(self.store, "column_batches", None)
+        if getter is None:
+            return None
+        return getter(relation, vertex, superstep)
+
+    def location_index(self, relation: str) -> int:
+        # Stored provenance relations carry the owning vertex at position
+        # 0 and partitions group by it, so batch kernels may skip the
+        # location check.
+        return 0
+
     def probe(
         self, relation: str, vertex: Any, pattern: Tuple[int, ...], key: Row
     ) -> Optional[Iterable[Row]]:

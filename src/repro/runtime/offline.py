@@ -41,9 +41,58 @@ from repro.pql.eval import (
 )
 from repro.pql.parser import parse
 from repro.pql.udf import FunctionRegistry
+from repro.pql.vectorized import VectorContext
 from repro.provenance.store import ProvenanceStore
 from repro.runtime.db import StoreDatabase
 from repro.runtime.results import QueryResult
+
+
+def _planner_stats(store: Any, use_index: bool) -> Optional[Dict[str, Any]]:
+    """Statistics handed to the planner for scan ordering.
+
+    Sealed columnar stores expose footer statistics (row counts plus
+    per-column distinct counts — richer literal ordering); everything
+    else degrades to plain row counts. ``None`` (indexing off) keeps the
+    stats-free plan shape for the escape-hatch path.
+    """
+    if not use_index:
+        return None
+    stats = getattr(store, "stats", None)
+    if stats is not None:
+        return stats()
+    return store.counts()
+
+
+def _attach_vector_ctx(
+    db: StoreDatabase, store: Any, vectorize: bool,
+    budget: Optional[QueryBudget] = None,
+) -> Optional[VectorContext]:
+    """Enable batch-kernel evaluation when the store can serve column
+    batches (sealed columnar views); other formats keep the row path —
+    attaching a context there would only re-route scans through the
+    per-row fallback for no gain."""
+    if not vectorize or not hasattr(store, "column_batches"):
+        return None
+    ctx = VectorContext(budget=budget)
+    db.vector_ctx = ctx
+    return ctx
+
+
+def _evaluator_stats(
+    ctx: Optional[VectorContext], use_index: bool, vectorize: bool,
+) -> Dict[str, Any]:
+    """The evaluator-choice block shared by all offline drivers (and
+    surfaced verbatim by the CLI, benchmarks, and the query server)."""
+    out: Dict[str, Any] = {
+        "vectorize": vectorize,
+        "evaluator": (
+            "vectorized" if ctx is not None and ctx.used
+            else ("indexed" if use_index else "scan")
+        ),
+    }
+    if ctx is not None:
+        out.update(ctx.stats())
+    return out
 
 
 def _compile_offline(
@@ -84,20 +133,24 @@ def run_layered(
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     use_index: bool = True,
     budget: Optional[QueryBudget] = None,
+    vectorize: bool = True,
 ) -> QueryResult:
     """Layered offline evaluation of a directed query.
 
     ``use_index=False`` disables hash-probe access paths (the ``--no-index``
-    escape hatch); results are byte-identical either way.
+    escape hatch); ``vectorize=False`` disables batch-kernel evaluation
+    over sealed columnar stores (``--no-vectorize``); results are
+    byte-identical in every combination.
 
     ``budget`` bounds the evaluation (depth = layers visited, derived
     rows, wall clock); overruns raise
-    :class:`~repro.errors.BudgetExceededError` mid-evaluation.
+    :class:`~repro.errors.BudgetExceededError` mid-evaluation — including
+    from inside batch kernels, which tick the budget per processed rows.
     """
     functions = FunctionRegistry(udfs)
     compiled = _compile_offline(
         query, store, functions, params,
-        stats=store.counts() if use_index else None,
+        stats=_planner_stats(store, use_index),
     )
     compiled.require_layered()
     if budget is not None:
@@ -109,6 +162,7 @@ def run_layered(
     stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
     db.index_enabled = use_index
+    ctx = _attach_vector_ctx(db, store, vectorize, budget)
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions, stratum_seconds)
 
@@ -163,6 +217,7 @@ def run_layered(
         "index_probes": db.index_probes,
         "index_scans": db.index_scans,
     }
+    stats.update(_evaluator_stats(ctx, use_index, vectorize))
     return QueryResult(
         derived=db.derived,
         mode="layered",
@@ -182,6 +237,7 @@ def run_naive(
     memory_budget_bytes: Optional[int] = None,
     use_index: bool = True,
     budget: Optional[QueryBudget] = None,
+    vectorize: bool = True,
 ) -> QueryResult:
     """Straightforward offline evaluation over the fully materialized graph.
 
@@ -196,7 +252,7 @@ def run_naive(
     functions = FunctionRegistry(udfs)
     compiled = _compile_offline(
         query, store, functions, params,
-        stats=store.counts() if use_index else None,
+        stats=_planner_stats(store, use_index),
     )
     if compiled.uses_stream:
         raise PQLCompatibilityError(
@@ -218,6 +274,7 @@ def run_naive(
     stratum_seconds: Dict[int, float] = {}
     db = StoreDatabase(store, graph, compiled.head_predicates)
     db.index_enabled = use_index
+    ctx = _attach_vector_ctx(db, store, vectorize, budget)
     start = time.perf_counter()
     derivations = _run_setup(compiled, db, functions, stratum_seconds)
     # The straightforward engine materializes the *unfolded* provenance
@@ -249,6 +306,7 @@ def run_naive(
         "index_probes": db.index_probes,
         "index_scans": db.index_scans,
     }
+    stats.update(_evaluator_stats(ctx, use_index, vectorize))
     return QueryResult(
         derived=db.derived,
         mode="naive",
@@ -267,6 +325,7 @@ def run_layered_from_spill(
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
     use_index: bool = True,
+    vectorize: bool = True,
 ) -> QueryResult:
     """Layered evaluation streaming sealed layer slabs from disk.
 
@@ -299,6 +358,7 @@ def run_layered_from_spill(
         try:
             result = run_layered(
                 view, query, graph, params, udfs, use_index=use_index,
+                vectorize=vectorize,
             )
             result.wall_seconds = time.perf_counter() - start
             result.stats["from_spill"] = True
@@ -390,6 +450,9 @@ def run_layered_from_spill(
         "index_probes": db.index_probes,
         "index_scans": db.index_scans,
     }
+    # Rebuilt in-memory stores serve no column batches; the evaluator
+    # choice is still reported so callers see why nothing vectorized.
+    stats.update(_evaluator_stats(None, use_index, vectorize))
     return QueryResult(
         derived=db.derived,
         mode="layered",
@@ -408,6 +471,7 @@ def run_naive_from_spill(
     udfs: Optional[Dict[str, Callable[..., Any]]] = None,
     memory_budget_bytes: Optional[int] = None,
     use_index: bool = True,
+    vectorize: bool = True,
 ) -> QueryResult:
     """Naive evaluation with its full-materialization load included.
 
@@ -434,6 +498,7 @@ def run_naive_from_spill(
             result = run_naive(
                 view, query, graph, params, udfs,
                 memory_budget_bytes=None, use_index=use_index,
+                vectorize=vectorize,
             )
             result.stats["store_format"] = "columnar"
             result.stats["decoded_bytes"] = view.decoded_bytes
@@ -444,6 +509,7 @@ def run_naive_from_spill(
         result = run_naive(
             store, query, graph, params, udfs,
             memory_budget_bytes=None, use_index=use_index,
+            vectorize=vectorize,
         )
         result.stats["store_format"] = (
             spill.store_format() if hasattr(spill, "store_format")

@@ -112,6 +112,10 @@ class ReproServer:
         self._m_budget = registry.counter(
             "repro_serve_budget_exceeded_total", "budget overruns by kind",
             labels=("kind",))
+        self._m_eval = registry.histogram(
+            "repro_serve_query_eval_seconds",
+            "query evaluation latency by evaluator path",
+            labels=("evaluator",), boundaries=SECONDS_BUCKETS)
         self._m_leaked = registry.counter(
             "repro_serve_evals_leaked_total",
             "cancelled evaluations that failed to unwind within the grace "
@@ -451,11 +455,21 @@ class ReproServer:
         except Exception:  # noqa: BLE001 - reaping must not mask the cause
             pass
 
+    #: Evaluator-choice stats surfaced per query response: which path ran
+    #: (``vectorized`` / ``indexed`` / ``scan``) and, when batch kernels
+    #: ran, their per-kernel timings and usage counters.
+    _EVAL_STAT_KEYS = (
+        "evaluator", "vectorize", "kernel_seconds", "batched_scans",
+        "fallback_scans", "batch_rows", "rules_vectorized",
+        "rules_fallback",
+    )
+
     async def _execute_query(self, entry: CatalogEntry, query_text: str,
                              params: Dict[str, Any], mode: str,
                              use_index: bool, budget: QueryBudget,
                              limit: Optional[int],
-                             cursor: Optional[str]) -> Dict[str, Any]:
+                             cursor: Optional[str],
+                             vectorize: bool = True) -> Dict[str, Any]:
         outcome: Dict[str, Any] = {}
         main_tracer = get_tracer()
         worker_tracer: Optional[Tracer] = None
@@ -465,19 +479,24 @@ class ReproServer:
         def work() -> Any:
             with entry.eval_lock:
                 compiled, cache = entry.prepare(
-                    query_text, params, mode, use_index)
+                    query_text, params, mode, use_index, vectorize)
                 outcome["plan_cache"] = cache
                 runner = run_layered if mode == "layered" else run_naive
                 if worker_tracer is None:
                     return runner(entry.store, compiled,
-                                  use_index=use_index, budget=budget)
+                                  use_index=use_index, budget=budget,
+                                  vectorize=vectorize)
                 with thread_tracing(worker_tracer):
                     return runner(entry.store, compiled,
-                                  use_index=use_index, budget=budget)
+                                  use_index=use_index, budget=budget,
+                                  vectorize=vectorize)
 
         result = await self._offload(work, budget)
         cache = outcome.get("plan_cache", "miss")
         self._m_plan.labels(cache).inc()
+        evaluator = result.stats.get(
+            "evaluator", "indexed" if use_index else "scan")
+        self._m_eval.labels(evaluator).observe(result.wall_seconds)
         if worker_tracer is not None:
             main_tracer.ingest(worker_tracer.sink.events, None,
                                run=entry.run_id)
@@ -488,6 +507,10 @@ class ReproServer:
             "derivations": result.derivations,
             "plan_cache": cache,
             "budget": budget.describe(),
+            "stats": {
+                key: result.stats[key]
+                for key in self._EVAL_STAT_KEYS if key in result.stats
+            },
         }
         if limit is None and cursor is None:
             doc["result"] = serialize.result_to_dict(result)
@@ -562,6 +585,7 @@ class ReproServer:
             raise HttpError(400, "bad_query",
                             f"mode must be one of {MODES}, got {mode!r}")
         use_index = bool(body.get("use_index", True))
+        vectorize = bool(body.get("vectorize", True))
         limit = body.get("limit")
         if limit is not None and (not isinstance(limit, int) or limit <= 0):
             raise HttpError(400, "bad_query", "limit must be a positive "
@@ -572,7 +596,7 @@ class ReproServer:
         budget = self._make_budget(body.get("budget") or {})
         doc = await self._execute_query(
             entry, query_text, params, mode, use_index, budget, limit,
-            cursor)
+            cursor, vectorize=vectorize)
         return 200, doc, "application/json"
 
     async def _handle_lineage(self, request: Request, run_id: str,

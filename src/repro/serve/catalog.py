@@ -55,6 +55,7 @@ from repro.provenance.spill import (
     read_manifest,
     rebuild_store,
 )
+from repro.runtime.offline import _planner_stats
 
 logger = get_logger("serve.catalog")
 
@@ -130,24 +131,31 @@ class CatalogEntry:
     # prepared plans
     # ------------------------------------------------------------------
     def plan_key(self, query_text: str, params: Optional[Dict[str, Any]],
-                 mode: str, use_index: bool) -> Tuple[Any, ...]:
+                 mode: str, use_index: bool,
+                 vectorize: bool = True) -> Tuple[Any, ...]:
         return (
             hashlib.sha256(query_text.encode("utf-8")).hexdigest(),
             obsledger.canonical_json(params or {}),
             mode,
             use_index,
+            vectorize,
         )
 
     def prepare(self, query_text: str, params: Optional[Dict[str, Any]],
-                mode: str, use_index: bool) -> Tuple[CompiledQuery, str]:
+                mode: str, use_index: bool,
+                vectorize: bool = True) -> Tuple[CompiledQuery, str]:
         """Compile (or fetch the cached plan for) one query.
 
         Returns ``(compiled, outcome)`` with outcome ``"hit"`` or
         ``"miss"``. Must be called under :attr:`eval_lock` — the cache
         dict and the store's schema registry are not independently
-        locked.
+        locked. Plans are keyed per evaluator choice so an A/B request
+        pair never shares (or evicts) the other path's plan, and
+        compilation sees the same planner statistics the offline drivers
+        use — columnar footer stats (row + distinct counts) when the
+        store has them, plain row counts otherwise.
         """
-        key = self.plan_key(query_text, params, mode, use_index)
+        key = self.plan_key(query_text, params, mode, use_index, vectorize)
         cached = self._plans.get(key)
         if cached is not None:
             self._plans.move_to_end(key)
@@ -158,7 +166,7 @@ class CatalogEntry:
             program = program.bind(**params)
         compiled = compile_query(
             program, registry=self.store.registry, functions=self.functions,
-            stats=self.store.counts() if use_index else None,
+            stats=_planner_stats(self.store, use_index),
         )
         self._plans[key] = compiled
         if len(self._plans) > self._plan_cache_size:

@@ -1,0 +1,401 @@
+"""Vectorized columnar evaluation: differential identity, footer-stat
+compatibility, dictionary caching, and budget interaction.
+
+The contract under test: the batch-kernel evaluator is an *optimization*,
+never a semantics change — for every query it must produce byte-identical
+results to the indexed and scan row paths, across all three sealed store
+formats, and it must honor ``QueryBudget`` bounds from *inside* batch
+kernels, not merely between rules.
+"""
+
+import os
+import pickle
+import zlib
+
+import pytest
+
+from repro.analytics.sssp import SSSP
+from repro.core import queries as Q
+from repro.errors import BudgetExceededError
+from repro.graph.generators import web_graph, with_random_weights
+from repro.obs import ledger as obsledger
+from repro.pql import budget as budget_mod
+from repro.pql import vectorized as vec_mod
+from repro.pql.analysis import compile_query
+from repro.pql.budget import QueryBudget
+from repro.pql.explain import explain
+from repro.pql.parser import parse
+from repro.provenance import columnar
+from repro.provenance.spill import SpillManager, open_store_view
+from repro.provenance.store import ProvenanceStore
+from repro.runtime.offline import (
+    run_layered,
+    run_layered_from_spill,
+    run_naive_from_spill,
+    run_reference,
+)
+from repro.runtime.online import run_online
+
+FORMATS = ("columnar", "pickle", "legacy")
+
+
+@pytest.fixture(scope="module")
+def wgraph():
+    return with_random_weights(
+        web_graph(120, avg_degree=5, target_diameter=8, seed=41), seed=41
+    )
+
+
+@pytest.fixture(scope="module")
+def full_store(wgraph):
+    return run_online(
+        wgraph, SSSP(source=0), Q.CAPTURE_FULL_QUERY, capture=True
+    ).store
+
+
+def _seal(store, directory, fmt, compression="zlib"):
+    spill = SpillManager(
+        store, directory=directory,
+        format="pickle" if fmt == "legacy" else fmt,
+        compression=compression,
+    )
+    spill.seal_all()
+    spill.write_manifest()
+    if fmt == "legacy":
+        static = spill.load_static()
+        for superstep in list(spill.sealed_layers()):
+            chunks = spill.load_layer(superstep)
+            with open(spill.slab_path(superstep), "wb") as fh:
+                fh.write(pickle.dumps(chunks))
+        with open(spill._static_path, "wb") as fh:
+            fh.write(pickle.dumps(static))
+    return spill
+
+
+@pytest.fixture(scope="module")
+def sealed_dirs(full_store, tmp_path_factory):
+    dirs = {}
+    for fmt in FORMATS:
+        directory = str(tmp_path_factory.mktemp(f"vec-{fmt}"))
+        _seal(full_store, directory, fmt)
+        dirs[fmt] = directory
+    return dirs
+
+
+@pytest.fixture(scope="module")
+def lineage_params(full_store):
+    sigma = full_store.max_superstep
+    alpha = next(x for x, i in full_store.rows("superstep") if i == sigma)
+    return {"alpha": alpha, "sigma": sigma}
+
+
+def query_cases(lineage_params):
+    return {
+        "query3": dict(params={"source": 0}),
+        "query5": dict(),
+        "query8": dict(params={"eps": 0.01}),
+        "query9": dict(params={"alpha": 0,
+                               "sigma": lineage_params["sigma"]}),
+        "query10": dict(params=lineage_params),
+    }
+
+
+# ---------------------------------------------------------------------------
+# differential matrix: vectorized == indexed == scan, every format
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("qname", [
+    "query3", "query5", "query8", "query9", "query10",
+])
+def test_vectorized_matches_row_paths(qname, sealed_dirs, full_store,
+                                      wgraph, lineage_params):
+    """One digest across {vectorized, indexed, scan} x {all formats}."""
+    case = query_cases(lineage_params)[qname]
+    query = Q.NAMED_QUERIES[qname]
+    reference = run_reference(
+        full_store, query, wgraph, case.get("params"), case.get("udfs"),
+    )
+    lanes = [
+        # (fmt, use_index, vectorize) — non-columnar formats accept the
+        # vectorize flag but serve no batches, so they exercise the
+        # row-path-under-vectorize degradation too.
+        ("columnar", True, True),
+        ("columnar", True, False),
+        ("columnar", False, False),
+        ("columnar", False, True),
+        ("pickle", True, True),
+        ("legacy", True, True),
+    ]
+    digests = set()
+    for fmt, use_index, vectorize in lanes:
+        spill = SpillManager.open(sealed_dirs[fmt])
+        for driver in (run_layered_from_spill, run_naive_from_spill):
+            result = driver(
+                spill, query, wgraph, case.get("params"), case.get("udfs"),
+                use_index=use_index, vectorize=vectorize,
+            )
+            for relation in reference.relations():
+                assert result.rows(relation) == reference.rows(relation), (
+                    f"{qname} {fmt} {driver.__name__} "
+                    f"use_index={use_index} vectorize={vectorize} {relation}"
+                )
+            digests.add(obsledger.digest_query_result(result))
+    assert len(digests) == 1, (
+        f"{qname}: results must be byte-identical across evaluators"
+    )
+
+
+def test_evaluator_stats_reported(sealed_dirs, wgraph, lineage_params):
+    """Result stats name the path that actually ran and its kernel work."""
+    query = Q.NAMED_QUERIES["query9"]
+    params = {"alpha": 0, "sigma": lineage_params["sigma"]}
+
+    spill = SpillManager.open(sealed_dirs["columnar"])
+    vec = run_layered_from_spill(spill, query, wgraph, params)
+    assert vec.stats["evaluator"] == "vectorized"
+    assert vec.stats["vectorize"] is True
+    assert vec.stats["batched_scans"] > 0
+    assert vec.stats["rules_vectorized"] > 0
+    assert vec.stats["batch_rows"] > 0
+    assert vec.stats["kernel_seconds"]  # at least one kernel timed
+
+    idx = run_layered_from_spill(spill, query, wgraph, params,
+                                 vectorize=False)
+    assert idx.stats["evaluator"] == "indexed"
+    assert "batched_scans" not in idx.stats
+
+    scan = run_layered_from_spill(spill, query, wgraph, params,
+                                  use_index=False, vectorize=False)
+    assert scan.stats["evaluator"] == "scan"
+
+    # Rebuilt in-memory stores serve no column batches: vectorize=True
+    # degrades to the row path and says so.
+    pickle_spill = SpillManager.open(sealed_dirs["pickle"])
+    row = run_layered_from_spill(pickle_spill, query, wgraph, params)
+    assert row.stats["evaluator"] == "indexed"
+
+
+def test_aggregate_heads_stay_on_row_path(sealed_dirs, wgraph):
+    """Aggregates never vectorize; the rule is counted as a fallback and
+    the answer still matches the reference evaluator."""
+    src = "cnt(X, count(I)) :- superstep(X, I)."
+    spill = SpillManager.open(sealed_dirs["columnar"])
+    result = run_naive_from_spill(spill, src, wgraph)
+    rebuilt = SpillManager.open(sealed_dirs["pickle"])
+    expected = run_naive_from_spill(rebuilt, src, wgraph, vectorize=False)
+    assert result.rows("cnt") == expected.rows("cnt")
+    assert result.stats["rules_fallback"] > 0
+
+
+def test_string_equality_pushdown(tmp_path, wgraph):
+    """Dict-code selection on string columns: same rows as the scan path."""
+    store = ProvenanceStore()
+    for s in range(3):
+        for v in range(8):
+            store.add("superstep", (v, s))
+            store.add("value", (v, f"tag-{v % 3}", s))
+    directory = str(tmp_path / "strstore")
+    _seal(store, directory, "columnar")
+    src = 'out(X, D, I) :- value(X, D, I), D = "tag-1".'
+    spill = SpillManager.open(directory)
+    vec = run_layered_from_spill(spill, src, wgraph)
+    scan = run_layered_from_spill(spill, src, wgraph, use_index=False,
+                                  vectorize=False)
+    reference = run_reference(store, src, wgraph)
+    assert vec.rows("out") == reference.rows("out")
+    assert vec.rows("out") == scan.rows("out")
+    assert len(vec.rows("out")) == 3 * 3  # 3 vertices x 3 supersteps
+    assert vec.stats["evaluator"] == "vectorized"
+
+
+def test_explain_shows_vectorized_steps(sealed_dirs, lineage_params):
+    """Plans compiled against a sealed view flag batchable scans."""
+    spill = SpillManager.open(sealed_dirs["columnar"])
+    view = open_store_view(spill)
+    try:
+        program = parse(Q.NAMED_QUERIES["query9"]).bind(
+            alpha=0, sigma=lineage_params["sigma"])
+        compiled = compile_query(program, registry=view.registry,
+                                 stats=view.stats())
+        assert "vectorized" in explain(compiled, verbose=True)
+    finally:
+        view.close()
+
+
+# ---------------------------------------------------------------------------
+# footer stats: version-1 slabs (no distinct counts) stay readable
+# ---------------------------------------------------------------------------
+def _downgrade_slab_to_v1(path):
+    """Rewrite an ARSC v2 slab as a faithful v1 slab: version byte 1 and
+    no per-column ``distinct`` footer stats."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    trailer_off = len(data) - columnar._TRAILER.size
+    footer_off, footer_len, magic = columnar._TRAILER.unpack_from(
+        data, trailer_off)
+    assert magic == columnar.ARSC_MAGIC
+    footer = pickle.loads(
+        zlib.decompress(data[footer_off:footer_off + footer_len]))
+    assert footer["version"] == columnar.ARSC_VERSION
+    footer["version"] = 1
+    for desc in footer["relations"].values():
+        for col in desc["columns"]:
+            col.pop("distinct", None)
+    payload = zlib.compress(
+        pickle.dumps(footer, protocol=pickle.HIGHEST_PROTOCOL))
+    header = columnar._HEADER.pack(columnar.ARSC_MAGIC, 1, 0, 0)
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(data[columnar._HEADER.size:footer_off])
+        fh.write(payload)
+        fh.write(columnar._TRAILER.pack(footer_off, len(payload),
+                                        columnar.ARSC_MAGIC))
+
+
+class TestV1FooterCompat:
+    @pytest.fixture()
+    def v1_dir(self, full_store, tmp_path):
+        directory = str(tmp_path / "v1store")
+        _seal(full_store, directory, "columnar")
+        for name in os.listdir(directory):
+            if name.endswith(".slab"):
+                _downgrade_slab_to_v1(os.path.join(directory, name))
+        return directory
+
+    def test_v1_slabs_read_and_report_no_distinct(self, v1_dir):
+        view = open_store_view(SpillManager.open(v1_dir))
+        try:
+            stats = view.stats()
+            assert stats and all(s["rows"] > 0 for s in stats.values())
+            assert all(s["distinct"] == {} for s in stats.values())
+        finally:
+            view.close()
+
+    def test_v1_queries_match_v2(self, v1_dir, sealed_dirs, wgraph,
+                                 lineage_params):
+        query = Q.NAMED_QUERIES["query10"]
+        v2 = run_layered_from_spill(
+            SpillManager.open(sealed_dirs["columnar"]), query, wgraph,
+            lineage_params)
+        v1 = run_layered_from_spill(
+            SpillManager.open(v1_dir), query, wgraph, lineage_params)
+        assert (obsledger.digest_query_result(v1)
+                == obsledger.digest_query_result(v2))
+        # The vector path needs batches, not stats — it still engages.
+        assert v1.stats["evaluator"] == "vectorized"
+        assert v1.stats["batched_scans"] > 0
+
+
+# ---------------------------------------------------------------------------
+# dictionary caching across queries
+# ---------------------------------------------------------------------------
+class TestDictCache:
+    def _chunks(self):
+        rows = {f"tag-{i % 5}" for i in range(40)}
+        return {"value": {0: {(0, tag, 1) for tag in rows}}}
+
+    def test_shared_cache_reuses_decoded_dictionary(self):
+        blob, _raw = columnar.encode_columnar_slab(self._chunks(), "zlib")
+        cache = {}
+        first = columnar.ColumnarSlab("<memory>", data=blob,
+                                      dict_cache=cache)
+        strings = first._column_strings(
+            "value", 1, first._relations["value"]["columns"][1])
+        assert cache[("value", 1)] is strings
+
+        second = columnar.ColumnarSlab("<memory>", data=blob,
+                                       dict_cache=cache)
+        again = second._column_strings(
+            "value", 1, second._relations["value"]["columns"][1])
+        assert again is strings  # served from the cache, not re-decoded
+        # Cache hits are still charged, so budgets see resident dicts.
+        desc = second._relations["value"]["columns"][1]
+        assert second.decoded_bytes >= desc["dict_raw"]
+
+    def test_manager_cache_survives_view_reopen(self, tmp_path, wgraph):
+        store = ProvenanceStore()
+        for s in range(2):
+            for v in range(6):
+                store.add("superstep", (v, s))
+                store.add("value", (v, f"tag-{v % 3}", s))
+        directory = str(tmp_path / "cached")
+        _seal(store, directory, "columnar")
+        spill = SpillManager.open(directory)
+        # The head carries D unbound, so late materialization must decode
+        # the string dictionary (a constant-bound D would never touch it).
+        src = "out(X, D, I) :- value(X, D, I)."
+        first = run_layered_from_spill(spill, src, wgraph)
+        caches = [c for c in spill._dict_caches.values() if c]
+        assert caches, "head materialization must populate the dict cache"
+        cached_ids = {id(strings) for c in caches for strings in c.values()}
+        second = run_layered_from_spill(spill, src, wgraph)
+        assert (obsledger.digest_query_result(first)
+                == obsledger.digest_query_result(second))
+        survivors = {id(strings) for c in spill._dict_caches.values()
+                     for strings in c.values()}
+        assert cached_ids <= survivors  # same decoded lists, not copies
+        assert second.stats["peak_slab_bytes"] > 0
+
+
+# ---------------------------------------------------------------------------
+# budget interaction: bounds fire inside batch kernels
+# ---------------------------------------------------------------------------
+class _CountingBudget(QueryBudget):
+    __slots__ = ("kernel_ticks",)
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.kernel_ticks = 0
+
+    def tick(self):
+        self.kernel_ticks += 1
+        super().tick()
+
+
+class TestBudgetInteraction:
+    def _run(self, sealed_dirs, wgraph, lineage_params, budget):
+        spill = SpillManager.open(sealed_dirs["columnar"])
+        view = open_store_view(spill)
+        try:
+            return run_layered(
+                view, Q.NAMED_QUERIES["query10"], wgraph, lineage_params,
+                budget=budget)
+        finally:
+            view.close()
+
+    def test_kernels_tick_the_budget(self, sealed_dirs, wgraph,
+                                     lineage_params, monkeypatch):
+        monkeypatch.setattr(vec_mod, "VECTOR_TICK_STRIDE", 1)
+        budget = _CountingBudget()
+        result = self._run(sealed_dirs, wgraph, lineage_params, budget)
+        assert result.stats["evaluator"] == "vectorized"
+        assert budget.kernel_ticks > result.stats["batched_scans"] > 0
+
+    def test_cancellation_fires_mid_evaluation(self, sealed_dirs, wgraph,
+                                               lineage_params):
+        budget = QueryBudget()
+        budget.cancel()
+        with pytest.raises(BudgetExceededError, match="cancelled"):
+            self._run(sealed_dirs, wgraph, lineage_params, budget)
+
+    def test_timeout_fires_inside_batches(self, sealed_dirs, wgraph,
+                                          lineage_params, monkeypatch):
+        # Stride-1 ticks in both the kernels and the budget so the tiny
+        # deadline is observed on the very first batch row.
+        monkeypatch.setattr(vec_mod, "VECTOR_TICK_STRIDE", 1)
+        monkeypatch.setattr(budget_mod, "TICK_STRIDE", 1)
+        budget = QueryBudget(timeout_seconds=1e-9)
+        with pytest.raises(BudgetExceededError, match="deadline"):
+            self._run(sealed_dirs, wgraph, lineage_params, budget)
+
+    def test_row_budget_bounds_vectorized_derivations(self, sealed_dirs,
+                                                      wgraph,
+                                                      lineage_params):
+        with pytest.raises(BudgetExceededError, match="rows"):
+            self._run(sealed_dirs, wgraph, lineage_params,
+                      QueryBudget(max_rows=1))
+
+    def test_depth_budget_still_enforced(self, sealed_dirs, wgraph,
+                                         lineage_params):
+        with pytest.raises(BudgetExceededError, match="layer"):
+            self._run(sealed_dirs, wgraph, lineage_params,
+                      QueryBudget(max_depth=1))

@@ -178,6 +178,52 @@ class TestQueries:
             assert status == 400 and doc["error"] == code, body
 
 
+class TestEvaluatorChoice:
+    def test_vectorized_default_and_row_path_override(self, server, catalog,
+                                                      sssp_store):
+        """Columnar stores vectorize by default; ``vectorize: false`` and
+        ``use_index: false`` select the row paths — same result bytes."""
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        body = {"query": "query10", "params": lineage_params(entry.store)}
+        status, vec = server.request(
+            "POST", f"/runs/{run_id}/query", body=body)
+        assert status == 200
+        assert vec["stats"]["evaluator"] == "vectorized"
+        assert vec["stats"]["vectorize"] is True
+        assert vec["stats"]["batched_scans"] > 0
+        assert vec["stats"]["kernel_seconds"]
+
+        status, idx = server.request(
+            "POST", f"/runs/{run_id}/query", body=dict(body,
+                                                       vectorize=False))
+        assert status == 200
+        assert idx["stats"]["evaluator"] == "indexed"
+        assert idx["result"] == vec["result"]
+
+        status, scan = server.request(
+            "POST", f"/runs/{run_id}/query",
+            body=dict(body, vectorize=False, use_index=False))
+        assert status == 200
+        assert scan["stats"]["evaluator"] == "scan"
+        assert scan["result"] == vec["result"]
+
+    def test_eval_latency_metric_labeled_by_evaluator(self, server, catalog,
+                                                      sssp_store):
+        run_id = run_id_for(catalog, sssp_store)
+        entry = catalog.get(run_id)
+        body = {"query": "query10", "params": lineage_params(entry.store)}
+        server.request("POST", f"/runs/{run_id}/query", body=body)
+        server.request("POST", f"/runs/{run_id}/query",
+                       body=dict(body, vectorize=False))
+        status, raw = server.request("GET", "/metrics")
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert "repro_serve_query_eval_seconds" in text
+        assert 'evaluator="vectorized"' in text
+        assert 'evaluator="indexed"' in text
+
+
 class TestPagination:
     def _body(self, catalog, run_id):
         entry = catalog.get(run_id)
